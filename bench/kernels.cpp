@@ -1,0 +1,99 @@
+// google-benchmark microbenches of the hot kernels: packed binding, codebook
+// similarity (XOR+popcount), integer projection, sign activation, and the
+// device-level crossbar MVM. These quantify why MVMs dominate (Fig. 1c) and
+// track kernel regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "cim/crossbar.hpp"
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "resonator/channels.hpp"
+#include "util/rng.hpp"
+
+using namespace h3dfact;
+
+namespace {
+
+void BM_Bind(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto a = hdc::BipolarVector::random(dim, rng);
+  auto b = hdc::BipolarVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.bind(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Bind)->Arg(1024)->Arg(8192);
+
+void BM_Similarity(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  hdc::Codebook cb(1024, m, rng);
+  auto u = hdc::BipolarVector::random(1024, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.similarity(u));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m) * 1024);
+}
+BENCHMARK(BM_Similarity)->Arg(16)->Arg(256)->Arg(512);
+
+void BM_Projection(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  hdc::Codebook cb(1024, m, rng);
+  std::vector<int> coeffs(m);
+  for (auto& c : coeffs) c = static_cast<int>(rng.range(-7, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.project(coeffs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m) * 1024);
+}
+BENCHMARK(BM_Projection)->Arg(16)->Arg(256)->Arg(512);
+
+void BM_SignActivation(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<int> y(1024);
+  for (auto& v : y) v = static_cast<int>(rng.range(-100, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::sign_of(y));
+  }
+}
+BENCHMARK(BM_SignActivation);
+
+void BM_H3dChannel(benchmark::State& state) {
+  util::Rng rng(5);
+  auto channel = resonator::make_h3dfact_channel(1024);
+  std::vector<int> sims(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : sims) s = static_cast<int>(rng.range(-200, 200));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel->apply(sims, rng));
+  }
+}
+BENCHMARK(BM_H3dChannel)->Arg(256)->Arg(512);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  cim::RramCrossbar xb(rows, rows, device::default_rram_40nm(), rng);
+  std::vector<std::int8_t> w(rows * rows);
+  for (auto& x : w) x = static_cast<std::int8_t>(rng.bipolar());
+  xb.program(w, rng);
+  std::vector<std::int8_t> input(rows);
+  for (auto& x : input) x = static_cast<std::int8_t>(rng.bipolar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xb.mvm_bipolar(input, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_CrossbarMvm)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Table II: factorization accuracy and operational capacity (iterations to
+// reach >=99% accuracy) for the baseline resonator network [9] vs the
+// H3DFact stochastic factorizer, across F in {3,4} and codebook sizes
+// M in {16..512} (the paper's "code vectors D" column).
+//
+// Scaled-down defaults reproduce the table's *shape* in minutes; --full
+// extends the sweep to the largest paper sizes (hours). The paper's largest
+// cell (F=4, M=512) averages 2.8M iterations per trial on the authors'
+// setup and is reported as modelled-only here unless --full is given.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace h3dfact;
+
+namespace {
+
+struct PaperCell {
+  const char* acc_base;
+  const char* acc_h3d;
+  const char* it_base;
+  const char* it_h3d;
+};
+
+// Paper Table II values, keyed by (F, M).
+PaperCell paper_cell(std::size_t F, std::size_t M) {
+  if (F == 3) {
+    switch (M) {
+      case 16: return {"99.4", "99.3", "4", "5"};
+      case 32: return {"99.3", "99.3", "13", "15"};
+      case 64: return {"99.1", "99.3", "43", "39"};
+      case 128: return {"96.9", "99.3", "Fail", "108"};
+      case 256: return {"10.8", "99.2", "Fail", "443"};
+      case 512: return {"0.2", "99.2", "Fail", "1685"};
+      default: break;
+    }
+  } else if (F == 4) {
+    switch (M) {
+      case 16: return {"99.2", "99.2", "31", "33"};
+      case 32: return {"99.1", "99.2", "234", "140"};
+      case 64: return {"89.9", "99.2", "Fail", "1347"};
+      case 128: return {"0", "99.2", "Fail", "17529"};
+      case 256: return {"0", "99.2", "Fail", "269931"};
+      case 512: return {"0", "99.2", "Fail", "2824079"};
+      default: break;
+    }
+  }
+  return {"-", "-", "-", "-"};
+}
+
+struct RowCfg {
+  std::size_t F;
+  std::size_t M;
+  std::size_t base_trials, base_cap;
+  std::size_t h3d_trials, h3d_cap;
+  double theta;  ///< VTGT sense threshold in crosstalk sigmas (Sec. V-D:
+                 ///< the readout peripheral retunes VTGT per operating point)
+  double sigma;  ///< device-noise sigma in crosstalk sigmas
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool full = cli.flag("full");
+  const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 20240404));
+
+  // Scaled-down defaults (shape-preserving); --full lifts trials and caps.
+  // theta follows the VTGT tuning schedule: the sense threshold grows with
+  // codebook size (more crosstalk survivors to reject) and shrinks with
+  // factor count (weaker initial similarity signal).
+  std::vector<RowCfg> rows = {
+      {3, 16, 60, 500, 40, 1000, 1.5, 0.5},
+      {3, 32, 60, 1000, 40, 1000, 1.5, 0.5},
+      {3, 64, 40, 2000, 40, 2000, 1.5, 0.5},
+      {3, 128, 30, 2000, 25, 4000, 1.5, 0.5},
+      {3, 256, 15, 1000, 15, 8000, 2.0, 0.5},
+      {3, 512, 8, 500, 10, 50000, 3.0, 1.0},
+      {4, 16, 60, 1000, 40, 1000, 1.0, 0.5},
+      {4, 32, 40, 2000, 30, 4000, 1.5, 0.5},
+      {4, 64, 20, 2000, 12, 20000, 1.5, 0.5},
+  };
+  if (full) {
+    for (auto& r : rows) {
+      r.base_trials *= 3;
+      r.h3d_trials *= 3;
+      r.h3d_cap *= 4;
+    }
+    rows.push_back({4, 128, 20, 2000, 10, 200000, 1.75, 0.5});
+  }
+
+  util::Table t("Table II -- Accuracy & Operational Capacity (measured vs paper)");
+  t.set_header({"F", "M", "acc base %", "(paper)", "acc H3D %", "(paper)",
+                "iters base", "(paper)", "iters H3D", "(paper)"});
+
+  for (const auto& r : rows) {
+    const auto paper = paper_cell(r.F, r.M);
+    auto base = bench::run_cell(dim, r.F, r.M, r.base_trials, r.base_cap, seed,
+                                /*stochastic=*/false);
+    resonator::TrialConfig cfg;
+    cfg.dim = dim;
+    cfg.factors = r.F;
+    cfg.codebook_size = r.M;
+    cfg.trials = r.h3d_trials;
+    cfg.max_iterations = r.h3d_cap;
+    cfg.seed = seed + 1;
+    cfg.factory = [&](std::shared_ptr<const hdc::CodebookSet> s) {
+      resonator::ResonatorOptions opts;
+      opts.max_iterations = r.h3d_cap;
+      opts.detect_limit_cycles = false;
+      opts.channel =
+          resonator::make_h3dfact_channel(dim, 4, r.sigma, 4.0, r.theta);
+      return resonator::ResonatorNetwork(std::move(s), opts);
+    };
+    auto h3d = resonator::run_trials(cfg);
+    t.add_row({util::Table::fmt_int(static_cast<long long>(r.F)),
+               util::Table::fmt_int(static_cast<long long>(r.M)),
+               bench::acc_pct(base), paper.acc_base, bench::acc_pct(h3d),
+               paper.acc_h3d, bench::iters_or_fail(base), paper.it_base,
+               bench::iters_or_fail(h3d), paper.it_h3d});
+    std::fprintf(stderr, "[table2] F=%zu M=%zu done\n", r.F, r.M);
+  }
+
+  t.add_note("M = codebook size per factor (the paper's Table II 'D' column); "
+             "hypervector dimension N=" + std::to_string(dim) + ".");
+  t.add_note("Iterations = 99th-percentile over trials ('Fail' if <99% of "
+             "trials converged within the cap), matching the paper's metric.");
+  t.add_note("Scaled-down trials/caps by default; run with --full for "
+             "paper-scale sweeps. F=4, M>=128 paper cells need >=17k "
+             "iterations/trial and are included only under --full.");
+  t.add_note("H3D rows use the VTGT tuning schedule (sense threshold vs "
+             "problem size), mirroring the retunable readout of Sec. V-D.");
+  t.add_note("Shape to verify: baseline collapses beyond M~64-128 while the "
+             "stochastic H3D factorizer holds ~99% with growing iterations "
+             "(five orders of magnitude more capacity at F=4, M=512).");
+  t.print(std::cout);
+  return 0;
+}

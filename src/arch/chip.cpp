@@ -1,0 +1,57 @@
+#include "arch/chip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h3dfact::arch {
+
+H3dFactChip::H3dFactChip(std::shared_ptr<const hdc::CodebookSet> set,
+                         const DesignSpec& design, std::size_t max_iterations,
+                         util::Rng& rng)
+    : set_(std::move(set)), design_(design) {
+  if (!set_ || set_->factors() == 0) {
+    throw std::invalid_argument("chip needs a non-empty codebook set");
+  }
+  if (set_->dim() != design_.dims.dim()) {
+    throw std::invalid_argument(
+        "codebook dimension does not match the design geometry (d*f)");
+  }
+  cim::MacroConfig mc;
+  mc.rows = design_.dims.array_rows;
+  mc.subarrays = design_.dims.subarrays;
+  mc.adc_bits = design_.dims.adc_bits;
+  engine_ = std::make_shared<cim::CimMvmEngine>(set_, mc, rng);
+
+  scheduler_ = std::make_unique<BatchScheduler>(design_, set_->factors(),
+                                                set_->book(0).size());
+
+  resonator::ResonatorOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.detect_limit_cycles = false;  // the device path is stochastic
+  net_ = std::make_unique<resonator::ResonatorNetwork>(set_, engine_, opts);
+}
+
+ChipRunResult H3dFactChip::factorize_batch(
+    const std::vector<resonator::FactorizationProblem>& problems,
+    util::Rng& rng) {
+  if (problems.empty()) throw std::invalid_argument("empty batch");
+  if (problems.size() > max_batch()) {
+    throw std::overflow_error(
+        "batch exceeds the tier-1 SRAM buffer; split the batch");
+  }
+  ChipRunResult out;
+  out.results.reserve(problems.size());
+  for (const auto& p : problems) {
+    out.results.push_back(net_->run(p, rng));
+    out.iterations_max =
+        std::max(out.iterations_max, out.results.back().iterations);
+  }
+  // Architectural accounting: the batch advances in lock-step through the
+  // tier schedule until the slowest problem converges.
+  for (std::size_t t = 0; t < out.iterations_max; ++t) {
+    out.schedule.merge(scheduler_->run_iteration(problems.size()));
+  }
+  return out;
+}
+
+}  // namespace h3dfact::arch

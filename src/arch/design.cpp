@@ -1,0 +1,77 @@
+#include "arch/design.hpp"
+
+#include <stdexcept>
+
+#include "arch/interconnect.hpp"
+
+namespace h3dfact::arch {
+
+std::string design_name(DesignKind kind) {
+  switch (kind) {
+    case DesignKind::kSram2D: return "SRAM 2D";
+    case DesignKind::kHybrid2D: return "Hybrid 2D";
+    case DesignKind::kH3dThreeTier: return "3-Tier H3D";
+  }
+  return "?";
+}
+
+DesignSpec make_design(DesignKind kind, const FactorizerDims& dims) {
+  DesignSpec s;
+  s.kind = kind;
+  s.dims = dims;
+  const std::size_t columns_total = dims.subarrays * dims.array_rows;  // 1024
+
+  switch (kind) {
+    case DesignKind::kSram2D:
+      // All modules scaled to 16 nm; MVMs on digital SRAM CIM — no ADC
+      // (bitwise digital accumulation), no TSVs, deterministic.
+      s.uses_rram = false;
+      s.tiers = 1;
+      s.rram_node = device::Node::k16nm;  // unused
+      s.periphery_node = device::Node::k16nm;
+      s.digital_node = device::Node::k16nm;
+      s.adc_count = 0;
+      s.tsv_count = 0;
+      s.stochastic = false;
+      break;
+
+    case DesignKind::kHybrid2D:
+      // Monolithic 40 nm: RRAM CIM plus its periphery and all digital in the
+      // legacy node (RRAM constrains the whole die). One ADC per column of
+      // each similarity-tier subarray; no TSVs.
+      s.uses_rram = true;
+      s.tiers = 1;
+      s.rram_node = device::Node::k40nm;
+      s.periphery_node = device::Node::k40nm;
+      s.digital_node = device::Node::k40nm;
+      s.adc_count = columns_total;  // 1024
+      s.tsv_count = 0;
+      s.stochastic = true;
+      break;
+
+    case DesignKind::kH3dThreeTier: {
+      // Two 40 nm RRAM tiers + one 16 nm digital tier. Every RRAM array
+      // lands X + Y + Y/2 TSVs (Sec. IV-B): 640 × 8 arrays = 5120.
+      s.uses_rram = true;
+      s.tiers = 3;
+      s.rram_node = device::Node::k40nm;
+      s.periphery_node = device::Node::k16nm;
+      s.digital_node = device::Node::k16nm;
+      s.adc_count = columns_total;  // 1024
+      TsvModel tsv;
+      s.tsv_count = tsv.tsvs_per_array(dims.array_rows, dims.array_rows) *
+                    dims.arrays();
+      s.stochastic = true;
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<DesignSpec> table3_designs(const FactorizerDims& dims) {
+  return {make_design(DesignKind::kSram2D, dims),
+          make_design(DesignKind::kHybrid2D, dims),
+          make_design(DesignKind::kH3dThreeTier, dims)};
+}
+
+}  // namespace h3dfact::arch

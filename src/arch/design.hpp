@@ -1,0 +1,57 @@
+#pragma once
+// Design-point descriptions for the iso-capacity comparison of Table III:
+// the 3-tier H3DFact stack and the two monolithic 2D baselines (fully-SRAM
+// 16 nm, hybrid RRAM/SRAM 40 nm). A design point enumerates its hardware
+// resources; the ppa layer turns the inventory into area/energy/timing.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "device/tech_node.hpp"
+
+namespace h3dfact::arch {
+
+/// Which of the three evaluated architectures (Table III rows).
+enum class DesignKind { kSram2D, kHybrid2D, kH3dThreeTier };
+
+std::string design_name(DesignKind kind);
+
+/// Common compute dimensions, identical across designs (iso-capacity).
+struct FactorizerDims {
+  std::size_t array_rows = 256;  ///< d
+  std::size_t subarrays = 4;     ///< f per MVM kernel
+  std::size_t mvm_kernels = 2;   ///< similarity + projection
+  int adc_bits = 4;
+  std::size_t sram_buffer_kb = 8;   ///< tier-1 batch buffer
+  [[nodiscard]] std::size_t dim() const { return array_rows * subarrays; }
+  [[nodiscard]] std::size_t arrays() const { return subarrays * mvm_kernels; }
+  [[nodiscard]] std::size_t cells_per_array() const { return array_rows * array_rows; }
+};
+
+/// Resource inventory of one design point.
+struct DesignSpec {
+  DesignKind kind = DesignKind::kH3dThreeTier;
+  FactorizerDims dims;
+
+  device::Node rram_node = device::Node::k40nm;       ///< N/A for kSram2D
+  device::Node periphery_node = device::Node::k16nm;  ///< RRAM periphery/ADC
+  device::Node digital_node = device::Node::k16nm;    ///< XNOR/SRAM/control
+
+  bool uses_rram = true;      ///< MVMs on RRAM CIM (else SRAM digital CIM)
+  std::size_t tiers = 3;      ///< silicon dies in the stack
+  std::size_t adc_count = 0;  ///< per Table III
+  std::size_t tsv_count = 0;  ///< per Table III
+
+  /// Deterministic digital designs lose the stochastic accuracy benefit
+  /// (Table III: 95.8 % for SRAM 2D vs 99.3 % for the RRAM designs).
+  bool stochastic = true;
+};
+
+/// Build the canonical Table III design points.
+DesignSpec make_design(DesignKind kind, const FactorizerDims& dims = {});
+
+/// All three, in the paper's row order.
+std::vector<DesignSpec> table3_designs(const FactorizerDims& dims = {});
+
+}  // namespace h3dfact::arch

@@ -1,0 +1,33 @@
+#include "arch/interconnect.hpp"
+
+#include <cmath>
+
+namespace h3dfact::arch {
+
+InterconnectSpec table1_spec() { return InterconnectSpec{}; }
+
+double TsvModel::tsv_capacitance_fF() const {
+  // Coaxial MOS capacitor through the silicon: C = 2π ε_ox h / ln(1 + 2 t/d).
+  constexpr double eps_ox_fF_per_um = 0.0345;  // ε_SiO2 ≈ 3.45e-11 F/m
+  const double t_um = spec_.tsv_oxide_thickness_nm * 1e-3;
+  const double ratio = 1.0 + 2.0 * t_um / spec_.tsv_diameter_um;
+  return 2.0 * M_PI * eps_ox_fF_per_um * spec_.tsv_height_um / std::log(ratio);
+}
+
+double TsvModel::hybrid_bond_capacitance_fF() const {
+  // Parallel-plate pad with a thin dielectric; small (~1 fF class).
+  constexpr double eps_fF_per_um = 0.0345;
+  const double pad_area = 0.25 * M_PI * spec_.hybrid_bond_pitch_um *
+                          spec_.hybrid_bond_pitch_um * 0.25;  // pad ≈ pitch/2
+  return eps_fF_per_um * pad_area / spec_.hybrid_bond_thickness_um;
+}
+
+double TsvModel::frequency_derate(double wire_load_fF) const {
+  // First-order RC argument: cycle time grows with the added vertical load
+  // on the critical path. f3D/f2D = C_2D / (C_2D + C_tsv + C_bond).
+  const double c2d = wire_load_fF;
+  const double c3d = c2d + tsv_capacitance_fF() + hybrid_bond_capacitance_fF();
+  return c2d / c3d;
+}
+
+}  // namespace h3dfact::arch

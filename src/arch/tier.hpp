@@ -1,0 +1,85 @@
+#pragma once
+// Tier abstraction for the 3-tier stack (Sec. IV-A, Fig. 3).
+//
+// Tier-3 (top, 40 nm RRAM) computes similarity; tier-2 (middle, 40 nm RRAM)
+// computes projection; tier-1 (bottom, 16 nm digital) holds the shared RRAM
+// peripherals, ADCs, SRAM buffers, XNOR unbinding and control. Because both
+// RRAM tiers share one set of peripherals through the same vertical
+// interconnects, only one RRAM tier may be active at a time; WL level
+// shifters power-gate the inactive tier (Fig. 3, red blocks).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "device/tech_node.hpp"
+
+namespace h3dfact::arch {
+
+/// What a tier computes.
+enum class TierRole {
+  kSimilarity,  ///< tier-3: a = Xᵀu on RRAM CIM
+  kProjection,  ///< tier-2: y = X ã on RRAM CIM
+  kDigital,     ///< tier-1: periphery, ADC, SRAM, XNOR, control
+};
+
+/// Power state of a tier (Sec. III-A power-off modes).
+enum class PowerState {
+  kActive,    ///< WL level shifters on, arrays conducting
+  kStandby,   ///< retains state, WL shifters gated, no column current
+  kShutdown,  ///< full power-off
+};
+
+const char* tier_role_name(TierRole role);
+const char* power_state_name(PowerState s);
+
+/// One tier of the stack.
+class Tier {
+ public:
+  Tier(std::string name, TierRole role, device::Node node)
+      : name_(std::move(name)), role_(role), node_(node) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TierRole role() const { return role_; }
+  [[nodiscard]] device::Node node() const { return node_; }
+  [[nodiscard]] PowerState power() const { return power_; }
+  [[nodiscard]] bool is_rram() const { return role_ != TierRole::kDigital; }
+
+  void set_power(PowerState s) { power_ = s; }
+
+  /// Number of activate/deactivate transitions (each costs level-shifter
+  /// switching energy and a settling delay).
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  void count_transition() { ++transitions_; }
+
+ private:
+  std::string name_;
+  TierRole role_;
+  device::Node node_;
+  PowerState power_ = PowerState::kStandby;
+  std::uint64_t transitions_ = 0;
+};
+
+/// Enforces the single-active-RRAM-tier invariant of the shared-periphery
+/// design: activating one RRAM tier forces the other to standby.
+class TierActivationController {
+ public:
+  TierActivationController(Tier& similarity_tier, Tier& projection_tier);
+
+  /// Activate the requested RRAM tier (deactivating its sibling). Returns
+  /// true if a transition actually happened (i.e. the tier was not already
+  /// active) — transitions cost time/energy in the scheduler.
+  bool activate(TierRole role);
+
+  /// Current active RRAM tier, or kDigital if both are gated.
+  [[nodiscard]] TierRole active() const;
+
+  /// Put both RRAM tiers into standby (between batches).
+  void park();
+
+ private:
+  Tier* sim_;
+  Tier* proj_;
+};
+
+}  // namespace h3dfact::arch

@@ -1,0 +1,149 @@
+#include "cim/macro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace h3dfact::cim {
+
+namespace {
+std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+CimMacro::CimMacro(const hdc::Codebook& codebook, const MacroConfig& config,
+                   util::Rng& rng)
+    : dim_(codebook.dim()),
+      m_(codebook.size()),
+      config_(config),
+      sense_(config.sense, rng) {
+  if (config_.rows == 0 || config_.subarrays == 0) {
+    throw std::invalid_argument("macro geometry must be non-zero");
+  }
+  if (dim_ != config_.rows * config_.subarrays) {
+    throw std::invalid_argument(
+        "codebook dimension must equal rows*subarrays (d*f)");
+  }
+  const std::size_t d = config_.rows;
+  const std::size_t col_groups = div_up(m_, d);
+
+  // --- Similarity orientation: subarray slice r, column group g ---
+  for (std::size_t r = 0; r < config_.subarrays; ++r) {
+    for (std::size_t g = 0; g < col_groups; ++g) {
+      const std::size_t cols = std::min(d, m_ - g * d);
+      RramCrossbar xb(d, cols, config_.rram, rng);
+      std::vector<std::int8_t> w(d * cols);
+      for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+          w[i * cols + j] = static_cast<std::int8_t>(
+              codebook.vector(g * d + j).get(r * d + i));
+        }
+      }
+      xb.program(w, rng);
+      sim_slices_.push_back(std::move(xb));
+    }
+  }
+
+  // --- Projection orientation: row chunk c (over M), column group g (over D) ---
+  const std::size_t row_chunks = div_up(m_, d);
+  for (std::size_t c = 0; c < row_chunks; ++c) {
+    const std::size_t rows = std::min(d, m_ - c * d);
+    for (std::size_t g = 0; g < config_.subarrays; ++g) {
+      RramCrossbar xb(rows, d, config_.rram, rng);
+      std::vector<std::int8_t> w(rows * d);
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+          w[i * d + j] =
+              static_cast<std::int8_t>(codebook.vector(c * d + i).get(g * d + j));
+        }
+      }
+      xb.program(w, rng);
+      proj_slices_.push_back(std::move(xb));
+    }
+  }
+
+  // One ADC instance per subarray column set; instance mismatch drawn here.
+  device::AdcParams adc = config_.adc;
+  adc.bits = config_.adc_bits;
+  const double counts_fs =
+      config_.adc_clip_sigmas * std::sqrt(static_cast<double>(d));
+  adc.full_scale_uA = counts_fs * sim_slices_.front().delta_g_uS() *
+                      config_.rram.v_read;
+  for (std::size_t r = 0; r < config_.subarrays; ++r) {
+    slice_adcs_.emplace_back(adc, rng);
+  }
+}
+
+std::vector<int> CimMacro::similarity(const hdc::BipolarVector& u,
+                                      util::Rng& rng) const {
+  if (u.dim() != dim_) throw std::invalid_argument("similarity input dim mismatch");
+  const std::size_t d = config_.rows;
+  const std::size_t col_groups = div_up(m_, d);
+  const auto u_vals = u.to_i8();
+
+  std::vector<int> a(m_, 0);
+  for (std::size_t r = 0; r < config_.subarrays; ++r) {
+    std::vector<std::int8_t> slice(u_vals.begin() + static_cast<std::ptrdiff_t>(r * d),
+                                   u_vals.begin() + static_cast<std::ptrdiff_t>((r + 1) * d));
+    for (std::size_t g = 0; g < col_groups; ++g) {
+      const auto& xb = sim_slices_[r * col_groups + g];
+      auto currents = xb.mvm_bipolar(slice, rng, temperature_C_);
+      for (std::size_t j = 0; j < currents.size(); ++j) {
+        const int code = slice_adcs_[r].convert(currents[j] * vtgt_scale_);
+        a[g * d + j] += code;  // digital slice-code accumulation (tier-1)
+        ++adc_conversions_;
+      }
+    }
+  }
+  return a;
+}
+
+std::vector<int> CimMacro::project(const std::vector<int>& coeffs,
+                                   util::Rng& rng) const {
+  if (coeffs.size() != m_) throw std::invalid_argument("projection coeff mismatch");
+  const std::size_t d = config_.rows;
+  const std::size_t row_chunks = div_up(m_, d);
+
+  int max_abs = 1;
+  for (int c : coeffs) max_abs = std::max(max_abs, std::abs(c));
+  const int coeff_bits = static_cast<int>(std::ceil(std::log2(max_abs + 1))) + 1;
+
+  std::vector<int> y(dim_, 0);
+  for (std::size_t g = 0; g < config_.subarrays; ++g) {
+    std::vector<double> col_current(d, 0.0);
+    for (std::size_t c = 0; c < row_chunks; ++c) {
+      const auto& xb = proj_slices_[c * config_.subarrays + g];
+      std::vector<int> chunk(coeffs.begin() + static_cast<std::ptrdiff_t>(c * d),
+                             coeffs.begin() + static_cast<std::ptrdiff_t>(c * d + xb.rows()));
+      auto currents = xb.mvm_coeffs(chunk, coeff_bits, rng, temperature_C_);
+      for (std::size_t j = 0; j < d; ++j) col_current[j] += currents[j];
+    }
+    // Comparator against VTGT=0 produces the 1-bit step-IV outputs. The
+    // sense path's headroom clipping does not affect the sign.
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v = sense_.sense_V(col_current[j]);
+      y[g * d + j] = v > 0.0 ? 1 : v < 0.0 ? -1 : (rng.bipolar());
+    }
+  }
+  return y;
+}
+
+void CimMacro::retune_vtgt(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("VTGT retune factor must be positive");
+  vtgt_scale_ = factor;
+}
+
+std::uint64_t CimMacro::analog_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& xb : sim_slices_) n += xb.read_events();
+  for (const auto& xb : proj_slices_) n += xb.read_events();
+  return n;
+}
+
+double CimMacro::program_energy_pJ() const {
+  double e = 0.0;
+  for (const auto& xb : sim_slices_) e += xb.program_energy_pJ();
+  for (const auto& xb : proj_slices_) e += xb.program_energy_pJ();
+  return e;
+}
+
+}  // namespace h3dfact::cim

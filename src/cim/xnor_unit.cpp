@@ -1,0 +1,35 @@
+#include "cim/xnor_unit.hpp"
+
+namespace h3dfact::cim {
+
+hdc::BipolarVector XnorUnbindUnit::unbind(const hdc::BipolarVector& a,
+                                          const hdc::BipolarVector& b) {
+  account(a.dim());
+  return a.bind(b);
+}
+
+void XnorUnbindUnit::unbind_inplace(hdc::BipolarVector& acc,
+                                    const hdc::BipolarVector& v) {
+  account(acc.dim());
+  acc.bind_inplace(v);
+}
+
+double XnorUnbindUnit::energy_per_gate_pJ() const {
+  // ~0.1 fJ per 2-input gate evaluation at 16 nm incl. local wiring,
+  // scaled by the node's relative switching energy.
+  const double base_16nm = 1.0e-4;  // pJ
+  return base_16nm * device::tech(node_).energy_per_gate_rel /
+         device::tech(device::Node::k16nm).energy_per_gate_rel;
+}
+
+void XnorUnbindUnit::account(std::uint64_t gates) {
+  gate_ops_ += gates;
+  energy_pJ_ += energy_per_gate_pJ() * static_cast<double>(gates);
+}
+
+void XnorUnbindUnit::reset_counters() {
+  gate_ops_ = 0;
+  energy_pJ_ = 0.0;
+}
+
+}  // namespace h3dfact::cim

@@ -1,0 +1,46 @@
+#pragma once
+// Digital XNOR unbinding unit (Sec. III-B, hybrid-computing scheme).
+//
+// The unbinding u = s ⊙ x̂ ⊙ ... is recomputed every iteration, so mapping it
+// onto RRAM would require constant memory writes — notoriously expensive for
+// RRAM [27]. H3DFact instead performs it with XNOR gates in the digital
+// tier-1. In the packed bit encoding (bit 1 ↔ −1), the bipolar product is a
+// plain XOR of the packed words.
+
+#include <cstdint>
+
+#include "device/tech_node.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace h3dfact::cim {
+
+/// Functional + energy/op model of the tier-1 XNOR unbinding array.
+class XnorUnbindUnit {
+ public:
+  explicit XnorUnbindUnit(device::Node node = device::Node::k16nm)
+      : node_(node) {}
+
+  /// u = a ⊙ b, counting gate operations and energy.
+  [[nodiscard]] hdc::BipolarVector unbind(const hdc::BipolarVector& a,
+                                          const hdc::BipolarVector& b);
+
+  /// In-place variant: acc ⊙= v.
+  void unbind_inplace(hdc::BipolarVector& acc, const hdc::BipolarVector& v);
+
+  [[nodiscard]] std::uint64_t gate_ops() const { return gate_ops_; }
+  [[nodiscard]] double energy_pJ() const { return energy_pJ_; }
+
+  /// Energy of a single XNOR gate evaluation at this node (pJ).
+  [[nodiscard]] double energy_per_gate_pJ() const;
+
+  void reset_counters();
+
+ private:
+  void account(std::uint64_t gates);
+
+  device::Node node_;
+  std::uint64_t gate_ops_ = 0;
+  double energy_pJ_ = 0.0;
+};
+
+}  // namespace h3dfact::cim

@@ -1,0 +1,34 @@
+#include "device/sense_path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h3dfact::device {
+
+SensePath::SensePath(const SensePathParams& params, util::Rng& rng)
+    : params_(params) {
+  if (params.rsense_kohm <= 0.0) {
+    throw std::invalid_argument("Rsense must be positive");
+  }
+  if (params.vtgt_V <= 0.0 || params.vtgt_V > params.vsense_max_V) {
+    throw std::invalid_argument("VTGT outside sensing headroom");
+  }
+  gain_ = 1.0 + rng.gaussian(0.0, params.pvt_gain_sigma);
+}
+
+double SensePath::sense_V(double current_uA) const {
+  // V = I * Rsense, with the per-instance residual gain; clipped to the
+  // available headroom on either polarity.
+  const double v = current_uA * 1e-6 * params_.rsense_kohm * 1e3 * gain_;
+  return std::clamp(v, -params_.vsense_max_V, params_.vsense_max_V);
+}
+
+double SensePath::vtgt_current_uA() const {
+  return params_.vtgt_V / (params_.rsense_kohm * 1e3 * gain_) * 1e6;
+}
+
+void SensePath::retune_vtgt(double vtgt_V) {
+  params_.vtgt_V = std::clamp(vtgt_V, 0.01, params_.vsense_max_V);
+}
+
+}  // namespace h3dfact::device

@@ -1,0 +1,42 @@
+#pragma once
+// Column sensing path (Fig. 2a): voltage regulation (op-amp + PMOS from
+// AVDD), current-sense resistor Rsense for PVT immunity, and the VTGT target
+// sensing voltage the testchip can retune (Sec. V-D).
+
+#include "util/rng.hpp"
+
+namespace h3dfact::device {
+
+/// Electrical configuration of one column sensing path.
+struct SensePathParams {
+  double rsense_kohm = 10.0;   ///< current-sense resistor
+  double vtgt_V = 0.45;        ///< target sensing voltage (tunable, Fig. 2)
+  double vsense_max_V = 0.8;   ///< sensing headroom (Fig. 2a plot x-range)
+  double pvt_gain_sigma = 0.02;///< residual gain spread after Rsense compensation
+  double avdd_V = 1.1;         ///< analog supply
+};
+
+/// Converts a column current into the voltage the ADC samples, including
+/// PVT-residual gain spread (drawn per-instance) and headroom clipping.
+class SensePath {
+ public:
+  SensePath(const SensePathParams& params, util::Rng& rng);
+
+  /// Voltage seen at the ADC input for a signed differential current (µA).
+  [[nodiscard]] double sense_V(double current_uA) const;
+
+  /// The current (µA) that maps exactly to VTGT — used to retune thresholds
+  /// when noise statistics change (testchip validation, Fig. 6b).
+  [[nodiscard]] double vtgt_current_uA() const;
+
+  /// Set a new target sensing voltage (clamped to the headroom).
+  void retune_vtgt(double vtgt_V);
+
+  [[nodiscard]] const SensePathParams& params() const { return params_; }
+
+ private:
+  SensePathParams params_;
+  double gain_;  ///< per-instance transimpedance gain factor
+};
+
+}  // namespace h3dfact::device

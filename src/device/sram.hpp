@@ -1,0 +1,64 @@
+#pragma once
+// SRAM array model (Sec. III-B / IV-A): tier-1 near-memory buffers that hold
+// ADC outputs for batch factorization, plus the SRAM-CIM arrays of the 2D
+// fully-digital baseline. Tracks capacity/occupancy and access energy.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "device/tech_node.hpp"
+
+namespace h3dfact::device {
+
+/// Static configuration of an SRAM macro.
+struct SramParams {
+  std::size_t words = 4096;
+  std::size_t word_bits = 32;
+  Node node = Node::k16nm;
+};
+
+/// Behavioural + PPA model of one SRAM macro used as a near-memory buffer.
+class SramBuffer {
+ public:
+  explicit SramBuffer(const SramParams& params);
+
+  [[nodiscard]] std::size_t capacity_bits() const {
+    return params_.words * params_.word_bits;
+  }
+  [[nodiscard]] std::size_t used_bits() const { return used_bits_; }
+  [[nodiscard]] std::size_t free_bits() const { return capacity_bits() - used_bits_; }
+  [[nodiscard]] double occupancy() const {
+    return static_cast<double>(used_bits_) / static_cast<double>(capacity_bits());
+  }
+
+  /// Reserve space for `bits`; throws if the buffer would overflow — the
+  /// scheduler must size batches against this (Sec. IV-A).
+  void allocate(std::size_t bits);
+
+  /// Release previously allocated bits.
+  void release(std::size_t bits);
+
+  /// Account one read / write of `bits` and return its energy (pJ).
+  double access(std::size_t bits, bool write);
+
+  [[nodiscard]] double total_access_energy_pJ() const { return energy_pJ_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+  /// Macro area (mm²) from bitcell area + ~30 % periphery overhead.
+  [[nodiscard]] double area_mm2() const;
+
+  /// Energy per bit accessed (pJ), node-scaled.
+  [[nodiscard]] double energy_per_bit_pJ(bool write) const;
+
+  void reset_counters();
+
+ private:
+  SramParams params_;
+  std::size_t used_bits_ = 0;
+  double energy_pJ_ = 0.0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace h3dfact::device

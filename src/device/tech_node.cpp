@@ -1,0 +1,48 @@
+#include "device/tech_node.hpp"
+
+#include <stdexcept>
+
+namespace h3dfact::device {
+
+namespace {
+// 40 nm: RRAM-capable legacy node (the paper's fabricated testchip node [25]).
+constexpr TechParams k40{
+    Node::k40nm,
+    40.0,
+    1.1,
+    1.0,    // density reference
+    1.0,    // energy reference
+    0.299,  // µm² 6T bitcell at 40 nm (foundry-typical)
+    1.0,
+};
+
+// 16 nm: advanced digital node for peripherals/SRAM/logic (Sec. III-B).
+// Density and energy scaling consistent with published foundry ratios.
+constexpr TechParams k16{
+    Node::k16nm,
+    16.0,
+    0.8,
+    4.9,    // ~4.9x logic density vs 40 nm
+    0.30,   // ~3.3x lower switching energy vs 40 nm
+    0.074,  // µm² 6T bitcell at 16 nm
+    0.0,    // no embedded RRAM at 16 nm (motivates the H3D split)
+};
+}  // namespace
+
+const TechParams& tech(Node node) {
+  switch (node) {
+    case Node::k40nm: return k40;
+    case Node::k16nm: return k16;
+  }
+  throw std::invalid_argument("unknown node");
+}
+
+std::string node_name(Node node) {
+  switch (node) {
+    case Node::k40nm: return "40 nm";
+    case Node::k16nm: return "16 nm";
+  }
+  return "?";
+}
+
+}  // namespace h3dfact::device

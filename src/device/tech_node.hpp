@@ -1,0 +1,32 @@
+#pragma once
+// Technology-node parameters for the hybrid design (Sec. III): RRAM tiers in
+// a legacy 40 nm node (needed for the high programming voltages), digital
+// components in an advanced 16 nm node.
+
+#include <string>
+
+namespace h3dfact::device {
+
+/// Process node identifier used across PPA models.
+enum class Node { k40nm, k16nm };
+
+/// Per-node electrical/layout constants. Logic-density and energy scaling
+/// factors follow standard node-to-node scaling used by NeuroSim-style
+/// estimators; absolute values are calibrated in ppa/calib.hpp.
+struct TechParams {
+  Node node;
+  double feature_nm;          ///< drawn feature size
+  double vdd;                 ///< nominal core supply (V)
+  double logic_density_rel;   ///< gate density relative to 40 nm
+  double energy_per_gate_rel; ///< switching energy relative to 40 nm
+  double sram_cell_um2;       ///< 6T SRAM bitcell area (µm²)
+  double supports_rram;       ///< 1.0 if the node offers embedded RRAM
+};
+
+/// Canonical parameter sets for the two nodes used in the paper.
+const TechParams& tech(Node node);
+
+/// Human-readable name ("40 nm" / "16 nm").
+std::string node_name(Node node);
+
+}  // namespace h3dfact::device

@@ -1,0 +1,135 @@
+#include "hdc/codebook.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace h3dfact::hdc {
+
+Codebook::Codebook(std::size_t dim, std::size_t size, util::Rng& rng,
+                   std::string name)
+    : dim_(dim), name_(std::move(name)) {
+  vectors_.reserve(size);
+  for (std::size_t m = 0; m < size; ++m) {
+    vectors_.push_back(BipolarVector::random(dim, rng));
+  }
+  build_dense();
+}
+
+Codebook::Codebook(std::vector<BipolarVector> vectors, std::string name)
+    : name_(std::move(name)), vectors_(std::move(vectors)) {
+  if (!vectors_.empty()) {
+    dim_ = vectors_.front().dim();
+    for (const auto& v : vectors_) {
+      if (v.dim() != dim_) throw std::invalid_argument("codebook dim mismatch");
+    }
+  }
+  build_dense();
+}
+
+void Codebook::build_dense() {
+  dense_.resize(vectors_.size() * dim_);
+  for (std::size_t m = 0; m < vectors_.size(); ++m) {
+    auto row = vectors_[m].to_i8();
+    std::copy(row.begin(), row.end(), dense_.begin() + static_cast<std::ptrdiff_t>(m * dim_));
+  }
+}
+
+std::vector<int> Codebook::similarity(const BipolarVector& u) const {
+  if (u.dim() != dim_) throw std::invalid_argument("dim mismatch in similarity");
+  std::vector<int> a(vectors_.size());
+  const std::uint64_t* uw = u.data();
+  const std::size_t nw = u.words();
+  for (std::size_t m = 0; m < vectors_.size(); ++m) {
+    const std::uint64_t* xw = vectors_[m].data();
+    long long disagree = 0;
+    for (std::size_t w = 0; w < nw; ++w) disagree += std::popcount(uw[w] ^ xw[w]);
+    a[m] = static_cast<int>(static_cast<long long>(dim_) - 2 * disagree);
+  }
+  return a;
+}
+
+std::vector<int> Codebook::project(const std::vector<int>& coeffs) const {
+  if (coeffs.size() != vectors_.size()) {
+    throw std::invalid_argument("coefficient count mismatch in project");
+  }
+  std::vector<int> y(dim_, 0);
+  for (std::size_t m = 0; m < vectors_.size(); ++m) {
+    const int a = coeffs[m];
+    if (a == 0) continue;
+    const std::int8_t* row = dense_.data() + m * dim_;
+    int* out = y.data();
+    for (std::size_t d = 0; d < dim_; ++d) out[d] += a * row[d];
+  }
+  return y;
+}
+
+BipolarVector Codebook::resonate(const BipolarVector& u) const {
+  return sign_of(project(similarity(u)));
+}
+
+std::size_t Codebook::nearest(const BipolarVector& u) const {
+  if (vectors_.empty()) throw std::logic_error("nearest on empty codebook");
+  auto sims = similarity(u);
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < sims.size(); ++m) {
+    if (sims[m] > sims[best]) best = m;
+  }
+  return best;
+}
+
+namespace {
+std::vector<int> member_counts(const std::vector<BipolarVector>& vectors,
+                               std::size_t dim) {
+  std::vector<int> counts(dim, 0);
+  for (const auto& v : vectors) {
+    for (std::size_t d = 0; d < dim; ++d) counts[d] += v.get(d);
+  }
+  return counts;
+}
+}  // namespace
+
+BipolarVector Codebook::superposition() const {
+  return sign_of(member_counts(vectors_, dim_));
+}
+
+BipolarVector Codebook::superposition(util::Rng& rng) const {
+  return sign_of(member_counts(vectors_, dim_), rng);
+}
+
+CodebookSet::CodebookSet(std::size_t dim, std::size_t factors, std::size_t size,
+                         util::Rng& rng)
+    : dim_(dim) {
+  books_.reserve(factors);
+  for (std::size_t f = 0; f < factors; ++f) {
+    books_.emplace_back(dim, size, rng, "factor" + std::to_string(f));
+  }
+}
+
+CodebookSet::CodebookSet(std::vector<Codebook> books) : books_(std::move(books)) {
+  if (!books_.empty()) {
+    dim_ = books_.front().dim();
+    for (const auto& b : books_) {
+      if (b.dim() != dim_) throw std::invalid_argument("codebook set dim mismatch");
+    }
+  }
+}
+
+BipolarVector CodebookSet::compose(const std::vector<std::size_t>& indices) const {
+  if (indices.size() != books_.size()) {
+    throw std::invalid_argument("index count must equal factor count");
+  }
+  BipolarVector s = books_[0].vector(indices[0]);
+  for (std::size_t f = 1; f < books_.size(); ++f) {
+    s.bind_inplace(books_[f].vector(indices[f]));
+  }
+  return s;
+}
+
+double CodebookSet::search_space() const {
+  double total = 1.0;
+  for (const auto& b : books_) total *= static_cast<double>(b.size());
+  return total;
+}
+
+}  // namespace h3dfact::hdc

@@ -1,0 +1,96 @@
+#pragma once
+// Codebooks of item vectors (Sec. II-B).
+//
+// A codebook X = [x_1 ... x_M] holds M random item vectors of dimension D.
+// The resonator network needs two kernels per codebook per iteration:
+//   similarity  a = Xᵀ u   (M integer dot products — RRAM tier-3 in hardware)
+//   projection  y = X a    (D integer accumulations — RRAM tier-2 in hardware)
+// Both are provided here as exact software kernels; the cim/arch layers model
+// the same computation through the noisy analog path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace h3dfact::hdc {
+
+/// A set of M random item vectors with fast similarity / projection kernels.
+class Codebook {
+ public:
+  Codebook() = default;
+
+  /// Generate M i.i.d. random item vectors of dimension D.
+  Codebook(std::size_t dim, std::size_t size, util::Rng& rng,
+           std::string name = "");
+
+  /// Build from explicit vectors (all must share the same dimension).
+  explicit Codebook(std::vector<BipolarVector> vectors, std::string name = "");
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t size() const { return vectors_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const BipolarVector& vector(std::size_t m) const { return vectors_[m]; }
+  [[nodiscard]] const std::vector<BipolarVector>& vectors() const { return vectors_; }
+
+  /// a = Xᵀ u: dot product of u with every codevector. a[m] ∈ [−D, D].
+  [[nodiscard]] std::vector<int> similarity(const BipolarVector& u) const;
+
+  /// y = X a: weighted sum of codevectors with integer coefficients.
+  [[nodiscard]] std::vector<int> project(const std::vector<int>& coeffs) const;
+
+  /// Fused resonator step: sign(X (Xᵀ u)) with deterministic tie-break.
+  [[nodiscard]] BipolarVector resonate(const BipolarVector& u) const;
+
+  /// Index of the codevector with maximal dot product to u (cleanup).
+  [[nodiscard]] std::size_t nearest(const BipolarVector& u) const;
+
+  /// Superposition (majority bundle) of all codevectors — the standard
+  /// resonator initial state x̂(0). Ties break deterministically to +1.
+  [[nodiscard]] BipolarVector superposition() const;
+
+  /// Superposition with random tie-break (preferred for even codebook sizes,
+  /// where exact count ties are common).
+  [[nodiscard]] BipolarVector superposition(util::Rng& rng) const;
+
+  /// Row-major ±1 int8 matrix view (size() × dim()), for external kernels.
+  [[nodiscard]] const std::vector<std::int8_t>& dense() const { return dense_; }
+
+ private:
+  void build_dense();
+
+  std::size_t dim_ = 0;
+  std::string name_;
+  std::vector<BipolarVector> vectors_;
+  std::vector<std::int8_t> dense_;  // size() rows × dim() cols, ±1
+};
+
+/// The F codebooks of a factorization problem, e.g. {shape, color, v-pos, h-pos}.
+class CodebookSet {
+ public:
+  CodebookSet() = default;
+
+  /// F codebooks, each with M vectors of dimension D.
+  CodebookSet(std::size_t dim, std::size_t factors, std::size_t size,
+              util::Rng& rng);
+
+  explicit CodebookSet(std::vector<Codebook> books);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t factors() const { return books_.size(); }
+  [[nodiscard]] const Codebook& book(std::size_t f) const { return books_[f]; }
+
+  /// Compose a product vector s = x_{i1} ⊙ x_{i2} ⊙ ... from indices.
+  [[nodiscard]] BipolarVector compose(const std::vector<std::size_t>& indices) const;
+
+  /// Total search-space size ∏ M_f as double (can exceed 2^64).
+  [[nodiscard]] double search_space() const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<Codebook> books_;
+};
+
+}  // namespace h3dfact::hdc

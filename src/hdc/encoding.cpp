@@ -1,0 +1,64 @@
+#include "hdc/encoding.hpp"
+
+#include <stdexcept>
+
+namespace h3dfact::hdc {
+
+SceneEncoder::SceneEncoder(std::size_t dim, std::vector<AttributeSpec> specs,
+                           util::Rng& rng)
+    : specs_(std::move(specs)) {
+  std::vector<Codebook> books;
+  books.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    if (spec.values.empty()) {
+      throw std::invalid_argument("attribute with empty vocabulary: " + spec.name);
+    }
+    books.emplace_back(dim, spec.values.size(), rng, spec.name);
+  }
+  set_ = CodebookSet(std::move(books));
+}
+
+BipolarVector SceneEncoder::encode(const SceneObject& object) const {
+  if (object.attribute_indices.size() != specs_.size()) {
+    throw std::invalid_argument("object attribute count mismatch");
+  }
+  for (std::size_t f = 0; f < specs_.size(); ++f) {
+    if (object.attribute_indices[f] >= specs_[f].values.size()) {
+      throw std::out_of_range("attribute value index out of range for " + specs_[f].name);
+    }
+  }
+  return set_.compose(object.attribute_indices);
+}
+
+std::vector<std::string> SceneEncoder::labels(
+    const std::vector<std::size_t>& indices) const {
+  if (indices.size() != specs_.size()) {
+    throw std::invalid_argument("index count mismatch in labels");
+  }
+  std::vector<std::string> out;
+  out.reserve(indices.size());
+  for (std::size_t f = 0; f < specs_.size(); ++f) {
+    out.push_back(specs_[f].values.at(indices[f]));
+  }
+  return out;
+}
+
+SceneObject SceneEncoder::random_object(util::Rng& rng) const {
+  SceneObject obj;
+  obj.attribute_indices.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    obj.attribute_indices.push_back(rng.below(spec.values.size()));
+  }
+  return obj;
+}
+
+std::vector<AttributeSpec> visual_object_schema() {
+  return {
+      {"shape", {"circle", "triangle", "square", "star", "hexagon", "diamond", "cross"}},
+      {"color", {"blue", "red", "green", "yellow", "purple", "orange", "cyan"}},
+      {"vpos", {"top", "middle", "bottom"}},
+      {"hpos", {"left", "center", "right"}},
+  };
+}
+
+}  // namespace h3dfact::hdc

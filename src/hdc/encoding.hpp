@@ -1,0 +1,55 @@
+#pragma once
+// Attribute-scene encoding (Fig. 1a): a visual object with F attributes
+// (e.g. shape, color, vertical position, horizontal position) is encoded as
+// the binding of one item vector per attribute.
+
+#include <string>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace h3dfact::hdc {
+
+/// One attribute dimension of a scene: a name plus its value vocabulary.
+struct AttributeSpec {
+  std::string name;                 ///< e.g. "shape"
+  std::vector<std::string> values;  ///< e.g. {"circle", "triangle", ...}
+};
+
+/// An object instance: one chosen value index per attribute.
+struct SceneObject {
+  std::vector<std::size_t> attribute_indices;
+};
+
+/// Encoder from symbolic attribute scenes to product hypervectors and back.
+class SceneEncoder {
+ public:
+  /// Build codebooks (one per attribute) from the given specs.
+  SceneEncoder(std::size_t dim, std::vector<AttributeSpec> specs, util::Rng& rng);
+
+  [[nodiscard]] std::size_t dim() const { return set_.dim(); }
+  [[nodiscard]] std::size_t attributes() const { return specs_.size(); }
+  [[nodiscard]] const AttributeSpec& spec(std::size_t f) const { return specs_[f]; }
+  [[nodiscard]] const CodebookSet& codebooks() const { return set_; }
+
+  /// Product vector s = ⊙_f x_f[object.attribute_indices[f]].
+  [[nodiscard]] BipolarVector encode(const SceneObject& object) const;
+
+  /// Per-attribute value labels for a decoded index assignment.
+  [[nodiscard]] std::vector<std::string> labels(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Random object (uniform over each attribute vocabulary).
+  [[nodiscard]] SceneObject random_object(util::Rng& rng) const;
+
+ private:
+  std::vector<AttributeSpec> specs_;
+  CodebookSet set_;
+};
+
+/// The four-attribute visual-object schema used throughout the paper's
+/// examples (Fig. 1a): shape, color, vertical position, horizontal position.
+std::vector<AttributeSpec> visual_object_schema();
+
+}  // namespace h3dfact::hdc

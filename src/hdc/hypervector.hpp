@@ -1,0 +1,91 @@
+#pragma once
+// Bipolar hypervectors x ∈ {−1,+1}^D (Sec. II-A of the paper).
+//
+// Storage is bit-packed into 64-bit words: bit b=0 encodes +1, b=1 encodes −1
+// (value = 1 − 2b). With this convention, binding (element-wise multiplication)
+// is XOR and the dot product is D − 2·popcount(x XOR y), which is what the
+// CIM macro's "−1's counter + adder" peripheral computes in hardware
+// (Sec. III-A). All hot loops in the resonator run on this representation.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace h3dfact::hdc {
+
+/// Dense bipolar hypervector with bit-packed storage.
+class BipolarVector {
+ public:
+  BipolarVector() = default;
+
+  /// All-(+1) vector of the given dimension.
+  explicit BipolarVector(std::size_t dim);
+
+  /// Construct from explicit ±1 values.
+  static BipolarVector from_values(const std::vector<int>& values);
+
+  /// I.i.d. uniform random bipolar vector (item vector generation).
+  static BipolarVector random(std::size_t dim, util::Rng& rng);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t words() const { return words_.size(); }
+  [[nodiscard]] const std::uint64_t* data() const { return words_.data(); }
+  [[nodiscard]] std::uint64_t* data() { return words_.data(); }
+
+  /// Element access: returns −1 or +1.
+  [[nodiscard]] int get(std::size_t i) const;
+  void set(std::size_t i, int value);
+
+  /// Element-wise multiplication (binding / unbinding): this ⊙ other.
+  [[nodiscard]] BipolarVector bind(const BipolarVector& other) const;
+
+  /// In-place binding.
+  void bind_inplace(const BipolarVector& other);
+
+  /// Integer dot product ⟨this, other⟩ ∈ [−D, D].
+  [[nodiscard]] long long dot(const BipolarVector& other) const;
+
+  /// Cosine similarity = dot / D.
+  [[nodiscard]] double cosine(const BipolarVector& other) const;
+
+  /// Normalized Hamming distance in [0,1].
+  [[nodiscard]] double hamming(const BipolarVector& other) const;
+
+  /// Cyclic permutation ρ^k (rotate elements by k positions).
+  [[nodiscard]] BipolarVector permute(long long k) const;
+
+  /// Element-wise negation.
+  [[nodiscard]] BipolarVector negate() const;
+
+  /// Flip each element independently with probability p (query/channel noise).
+  [[nodiscard]] BipolarVector with_flips(double p, util::Rng& rng) const;
+
+  /// Flip exactly n distinct randomly chosen elements.
+  [[nodiscard]] BipolarVector with_exact_flips(std::size_t n, util::Rng& rng) const;
+
+  /// Unpack to a ±1 integer vector.
+  [[nodiscard]] std::vector<int> to_values() const;
+
+  /// Unpack to ±1 int8 (row format used by the projection kernel).
+  [[nodiscard]] std::vector<std::int8_t> to_i8() const;
+
+  /// 64-bit content hash (used by the limit-cycle detector).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  bool operator==(const BipolarVector& other) const;
+
+ private:
+  void mask_tail();
+
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Element-wise sign of integer counts with deterministic +1 tie-break.
+BipolarVector sign_of(const std::vector<int>& counts);
+
+/// Element-wise sign with random tie-break (used when counts can be 0).
+BipolarVector sign_of(const std::vector<int>& counts, util::Rng& rng);
+
+}  // namespace h3dfact::hdc

@@ -1,0 +1,30 @@
+#include "perception/frontend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h3dfact::perception {
+
+NeuralFrontendSurrogate::NeuralFrontendSurrogate(const hdc::SceneEncoder& encoder,
+                                                 const FrontendParams& params)
+    : encoder_(&encoder), params_(params) {
+  if (params.feature_cosine <= 0.0 || params.feature_cosine > 1.0) {
+    throw std::invalid_argument("feature cosine must be in (0, 1]");
+  }
+}
+
+double NeuralFrontendSurrogate::flip_prob_for_cosine(double cosine) {
+  // cos = 1 − 2p for independent element flips with probability p.
+  return std::clamp((1.0 - cosine) / 2.0, 0.0, 0.5);
+}
+
+hdc::BipolarVector NeuralFrontendSurrogate::infer(const RavenScene& scene,
+                                                  util::Rng& rng) const {
+  hdc::SceneObject obj{scene.attributes};
+  hdc::BipolarVector exact = encoder_->encode(obj);
+  const double c = std::clamp(
+      params_.feature_cosine + rng.gaussian(0.0, params_.cosine_jitter), 0.05, 1.0);
+  return exact.with_flips(flip_prob_for_cosine(c), rng);
+}
+
+}  // namespace h3dfact::perception

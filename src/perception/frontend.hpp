@@ -1,0 +1,46 @@
+#pragma once
+// Neural-frontend surrogate (Fig. 7 left half).
+//
+// In the paper a ResNet-18 maps the input image to a holographic perceptual
+// vector — an *approximation* of the true product vector of the scene's
+// attributes. We substitute the trained network with a statistical model of
+// its output: the exact product vector corrupted to a configurable target
+// cosine similarity (the "feature quality" of the trained frontend). This
+// exercises exactly the code path the factorizer sees.
+
+#include "hdc/encoding.hpp"
+#include "perception/raven.hpp"
+#include "util/rng.hpp"
+
+namespace h3dfact::perception {
+
+/// Output-quality parameters of the surrogate frontend.
+struct FrontendParams {
+  /// Expected cosine(query, exact product). ResNet-18-quality holographic
+  /// embeddings on RAVEN attain ~0.6 [3],[15].
+  double feature_cosine = 0.6;
+  /// Additional per-inference quality jitter (stddev of the cosine).
+  double cosine_jitter = 0.03;
+};
+
+/// The surrogate: scene → approximate product hypervector.
+class NeuralFrontendSurrogate {
+ public:
+  NeuralFrontendSurrogate(const hdc::SceneEncoder& encoder,
+                          const FrontendParams& params);
+
+  /// "Infer" the holographic perceptual vector of a scene.
+  [[nodiscard]] hdc::BipolarVector infer(const RavenScene& scene,
+                                         util::Rng& rng) const;
+
+  /// The flip probability that realizes a target cosine c: p = (1−c)/2.
+  [[nodiscard]] static double flip_prob_for_cosine(double cosine);
+
+  [[nodiscard]] const FrontendParams& params() const { return params_; }
+
+ private:
+  const hdc::SceneEncoder* encoder_;
+  FrontendParams params_;
+};
+
+}  // namespace h3dfact::perception

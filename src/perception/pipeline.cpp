@@ -1,0 +1,83 @@
+#include "perception/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace h3dfact::perception {
+
+double PerceptionResult::attribute_accuracy() const {
+  if (scenes == 0 || correct_per_attribute.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (auto c : correct_per_attribute) correct += c;
+  return static_cast<double>(correct) /
+         static_cast<double>(scenes * correct_per_attribute.size());
+}
+
+double PerceptionResult::scene_accuracy() const {
+  return scenes ? static_cast<double>(all_correct) / static_cast<double>(scenes)
+                : 0.0;
+}
+
+PerceptionPipeline::PerceptionPipeline(const PipelineConfig& config)
+    : config_(config) {
+  util::Rng rng(config.seed);
+  encoder_ = std::make_unique<hdc::SceneEncoder>(config.dim, raven_schema(), rng);
+  frontend_ = std::make_unique<NeuralFrontendSurrogate>(*encoder_, config.frontend);
+  set_ = std::make_shared<hdc::CodebookSet>(encoder_->codebooks());
+
+  resonator::ResonatorOptions opts;
+  opts.max_iterations = config.max_iterations;
+  opts.channel = resonator::make_h3dfact_channel(
+      config.dim, config.adc_bits, config.sigma_frac, /*clip_sigmas=*/4.0,
+      config.threshold_sigmas);
+  opts.detect_limit_cycles = false;
+  // The query is approximate: a correct decode only reaches the frontend's
+  // feature cosine, so the stop detector sits just below it.
+  opts.success_threshold =
+      config.frontend.feature_cosine - config.success_margin;
+  if (opts.success_threshold <= 0.0) {
+    throw std::invalid_argument("success margin leaves no detection band");
+  }
+  factorizer_ =
+      std::make_unique<resonator::ResonatorNetwork>(set_, std::move(opts));
+}
+
+std::vector<std::size_t> PerceptionPipeline::disentangle(const RavenScene& scene,
+                                                         util::Rng& rng) const {
+  resonator::FactorizationProblem p;
+  p.codebooks = set_;
+  p.ground_truth = scene.attributes;
+  p.query = frontend_->infer(scene, rng);
+  return factorizer_->run(p, rng).decoded;
+}
+
+PerceptionResult PerceptionPipeline::evaluate(const RavenDataset& dataset) const {
+  PerceptionResult r;
+  r.scenes = dataset.size();
+  r.correct_per_attribute.assign(encoder_->attributes(), 0);
+  util::Rng rng(config_.seed ^ 0xfeedfaceULL);
+  double iter_sum = 0.0;
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto& scene = dataset.scene(i);
+    resonator::FactorizationProblem p;
+    p.codebooks = set_;
+    p.ground_truth = scene.attributes;
+    p.query = frontend_->infer(scene, rng);
+    auto res = factorizer_->run(p, rng);
+    iter_sum += static_cast<double>(res.iterations);
+
+    bool all = true;
+    for (std::size_t f = 0; f < res.decoded.size(); ++f) {
+      if (res.decoded[f] == scene.attributes[f]) {
+        ++r.correct_per_attribute[f];
+      } else {
+        all = false;
+      }
+    }
+    if (all) ++r.all_correct;
+  }
+  r.mean_iterations = r.scenes ? iter_sum / static_cast<double>(r.scenes) : 0.0;
+  return r;
+}
+
+}  // namespace h3dfact::perception

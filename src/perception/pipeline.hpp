@@ -1,0 +1,68 @@
+#pragma once
+// End-to-end holographic perception pipeline (Fig. 7): neural-frontend
+// surrogate → H3DFact stochastic factorizer → per-attribute predictions.
+
+#include <memory>
+#include <vector>
+
+#include "perception/frontend.hpp"
+#include "resonator/resonator.hpp"
+
+namespace h3dfact::perception {
+
+/// Pipeline configuration.
+struct PipelineConfig {
+  std::size_t dim = 1024;
+  std::size_t max_iterations = 1000;
+  FrontendParams frontend;
+  /// Similarity-path configuration. The perception codebooks are small
+  /// (5–10 entries) and the query is approximate, so the sense threshold
+  /// sits lower than the large-scale factorization default.
+  int adc_bits = 4;
+  double sigma_frac = 0.5;
+  double threshold_sigmas = 1.0;
+  /// Success threshold on cosine(compose(decode), query): with an
+  /// approximate query of cosine c the solved state reaches ≈ c, so the
+  /// detector needs margin below it.
+  double success_margin = 0.12;
+  std::uint64_t seed = 42;
+};
+
+/// Per-attribute and overall evaluation result.
+struct PerceptionResult {
+  std::size_t scenes = 0;
+  std::vector<std::size_t> correct_per_attribute;
+  std::size_t all_correct = 0;
+  double mean_iterations = 0.0;
+
+  /// Attribute-estimation accuracy: correctly recovered attribute slots over
+  /// all slots (the Fig. 7 99.4 % metric).
+  [[nodiscard]] double attribute_accuracy() const;
+  /// Fraction of scenes with every attribute correct.
+  [[nodiscard]] double scene_accuracy() const;
+};
+
+/// The pipeline object.
+class PerceptionPipeline {
+ public:
+  explicit PerceptionPipeline(const PipelineConfig& config);
+
+  [[nodiscard]] const hdc::SceneEncoder& encoder() const { return *encoder_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+  /// Disentangle one scene; returns the decoded attribute indices.
+  [[nodiscard]] std::vector<std::size_t> disentangle(const RavenScene& scene,
+                                                     util::Rng& rng) const;
+
+  /// Evaluate over a dataset.
+  [[nodiscard]] PerceptionResult evaluate(const RavenDataset& dataset) const;
+
+ private:
+  PipelineConfig config_;
+  std::unique_ptr<hdc::SceneEncoder> encoder_;
+  std::unique_ptr<NeuralFrontendSurrogate> frontend_;
+  std::shared_ptr<const hdc::CodebookSet> set_;
+  std::unique_ptr<resonator::ResonatorNetwork> factorizer_;
+};
+
+}  // namespace h3dfact::perception

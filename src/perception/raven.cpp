@@ -1,0 +1,29 @@
+#include "perception/raven.hpp"
+
+namespace h3dfact::perception {
+
+std::vector<hdc::AttributeSpec> raven_schema() {
+  return {
+      {"type", {"triangle", "square", "pentagon", "hexagon", "circle"}},
+      {"size", {"s1", "s2", "s3", "s4", "s5", "s6"}},
+      {"color",
+       {"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9"}},
+      {"position",
+       {"nw", "n", "ne", "w", "center", "e", "sw", "s", "se"}},
+  };
+}
+
+RavenDataset::RavenDataset(std::size_t count, util::Rng& rng) {
+  const auto schema = raven_schema();
+  scenes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RavenScene s;
+    s.attributes.reserve(schema.size());
+    for (const auto& spec : schema) {
+      s.attributes.push_back(rng.below(spec.values.size()));
+    }
+    scenes_.push_back(std::move(s));
+  }
+}
+
+}  // namespace h3dfact::perception

@@ -1,0 +1,40 @@
+#pragma once
+// Silicon area model (Sec. IV-C, Table III "Area" column).
+//
+// Produces a per-tier, per-component breakdown for each design point. For 2D
+// designs everything lands on one die; for the 3-tier H3D design the RRAM
+// arrays plus retained high-voltage circuits sit on tiers 3/2, TSV keep-out
+// on tier-2 (F2B), and the shared periphery/ADC/SRAM/logic on tier-1.
+
+#include <string>
+#include <vector>
+
+#include "arch/design.hpp"
+
+namespace h3dfact::ppa {
+
+/// One floorplan-level component with its area.
+struct AreaItem {
+  std::string component;
+  int tier;        ///< 1..3 for H3D; 1 for 2D designs
+  double area_mm2;
+};
+
+/// Full area breakdown of one design.
+struct AreaBreakdown {
+  std::vector<AreaItem> items;
+
+  [[nodiscard]] double total_mm2() const;
+  [[nodiscard]] double tier_mm2(int tier) const;
+  /// Footprint = largest tier (dies are stacked and area-balanced, Fig. 4).
+  [[nodiscard]] double footprint_mm2() const;
+  [[nodiscard]] int tiers() const;
+};
+
+/// Analytic 4-bit-equivalent SAR ADC area (µm²) at a node.
+double adc_area_um2(int bits, device::Node node);
+
+/// Compute the breakdown for a design point.
+AreaBreakdown compute_area(const arch::DesignSpec& design);
+
+}  // namespace h3dfact::ppa

@@ -1,0 +1,67 @@
+#include "ppa/energy_model.hpp"
+
+#include <cmath>
+
+#include "arch/interconnect.hpp"
+#include "ppa/calib.hpp"
+
+namespace h3dfact::ppa {
+
+double adc_energy_pJ(int bits, device::Node node) {
+  const double bit_scale = std::pow(2.0, bits - 4);
+  const double node_scale = device::tech(node).energy_per_gate_rel /
+                            device::tech(device::Node::k16nm).energy_per_gate_rel;
+  return calib::kAdc4bEnergy16nmPj * bit_scale * node_scale;
+}
+
+EnergyResult compute_energy(const arch::DesignSpec& d) {
+  EnergyResult r;
+  const auto& dims = d.dims;
+  const double macs = static_cast<double>(dims.cells_per_array());  // per array read
+  const double ops = 2.0 * macs;
+
+  // --- Energy of one array MVM read (pJ) ---
+  double mvm_pJ = 0.0;
+  if (d.uses_rram) {
+    mvm_pJ += macs * 2.0 * calib::kRramCellReadFj * 1e-3;  // differential pair
+    mvm_pJ += static_cast<double>(dims.array_rows) *
+              adc_energy_pJ(dims.adc_bits, d.periphery_node);  // column ADCs
+  } else {
+    // Digital CIM: bit-serial compute-reads plus accumulator switching.
+    mvm_pJ += macs * calib::kSramCimCellReadFj * 1e-3 *
+              static_cast<double>(dims.adc_bits);
+    const double gate_e = calib::kGateEnergy40nmPj *
+                          device::tech(d.digital_node).energy_per_gate_rel;
+    mvm_pJ += macs * 3.0 * gate_e;  // adder-tree toggles per MAC
+  }
+
+  // --- Per-array digital post-processing + buffering (pJ) ---
+  const double gate_e_dig = calib::kGateEnergy40nmPj *
+                            device::tech(d.digital_node).energy_per_gate_rel;
+  mvm_pJ += static_cast<double>(dims.array_rows) * 20.0 * gate_e_dig;  // adders
+  // SRAM buffer traffic: adc_bits per column.
+  const double sram_bit_pJ = 0.015 * device::tech(d.digital_node).energy_per_gate_rel;
+  mvm_pJ += static_cast<double>(dims.array_rows) * dims.adc_bits * sram_bit_pJ;
+
+  // --- Cross-tier transfer energy (H3D only) ---
+  if (d.kind == arch::DesignKind::kH3dThreeTier) {
+    arch::TsvModel tsv;
+    const double v = device::tech(device::Node::k16nm).vdd;
+    const double tsv_bit_pJ =
+        0.5 * (tsv.tsv_capacitance_fF() + tsv.hybrid_bond_capacitance_fF()) *
+        v * v * 1e-3;
+    // Steps I (D bits in) + III/IV (codes + sign bits out) per array read.
+    mvm_pJ += static_cast<double>(dims.array_rows) * (1.0 + dims.adc_bits) *
+              tsv_bit_pJ * 0.5;  // ~50 % switching activity
+  }
+
+  const double per_op_pJ = mvm_pJ / ops * calib::kSystemEnergyOverhead;
+  r.energy_per_op_fJ = per_op_pJ * 1e3;
+  r.tops_per_watt = 1.0 / per_op_pJ;  // (1e12 ops/s) / (per_op_pJ W/TOPS)
+
+  const TimingResult t = compute_timing(d);
+  r.power_mW = t.tops / r.tops_per_watt * 1e3;
+  return r;
+}
+
+}  // namespace h3dfact::ppa

@@ -1,0 +1,27 @@
+#pragma once
+// Energy / power model (Table III "Energy Efficiency" column).
+//
+// Component-sum dynamic energy per op (cell reads, ADC conversions, digital
+// gates, SRAM and TSV traffic) times a calibrated system overhead factor.
+// The 40 nm monolithic design burns more per ADC conversion but the RRAM
+// read itself is cheap; the fully-digital 16 nm design replaces ADCs with
+// wide accumulator switching.
+
+#include "arch/design.hpp"
+#include "ppa/timing_model.hpp"
+
+namespace h3dfact::ppa {
+
+struct EnergyResult {
+  double energy_per_op_fJ = 0.0;  ///< averaged over MAC ops at peak
+  double power_mW = 0.0;          ///< at peak throughput
+  double tops_per_watt = 0.0;
+};
+
+/// Energy of one `bits`-bit SAR conversion at a node (pJ).
+double adc_energy_pJ(int bits, device::Node node);
+
+/// Energy analysis of a design at its peak operating point.
+EnergyResult compute_energy(const arch::DesignSpec& design);
+
+}  // namespace h3dfact::ppa

@@ -1,0 +1,116 @@
+#include "ppa/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace h3dfact::ppa {
+
+double TierFloorplan::total_power_W() const {
+  double p = 0.0;
+  for (const auto& r : rects) p += r.power_W;
+  return p;
+}
+
+std::vector<double> TierFloorplan::power_grid(std::size_t nx, std::size_t ny) const {
+  std::vector<double> grid(nx * ny, 0.0);
+  if (nx == 0 || ny == 0 || die_w_mm <= 0 || die_h_mm <= 0) return grid;
+  const double dx = die_w_mm / static_cast<double>(nx);
+  const double dy = die_h_mm / static_cast<double>(ny);
+  for (const auto& r : rects) {
+    if (r.area_mm2() <= 0 || r.power_W <= 0) continue;
+    const double pd = r.power_density_W_mm2();
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      const double cy0 = static_cast<double>(iy) * dy, cy1 = cy0 + dy;
+      const double oy = std::max(0.0, std::min(cy1, r.y_mm + r.h_mm) - std::max(cy0, r.y_mm));
+      if (oy <= 0) continue;
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const double cx0 = static_cast<double>(ix) * dx, cx1 = cx0 + dx;
+        const double ox =
+            std::max(0.0, std::min(cx1, r.x_mm + r.w_mm) - std::max(cx0, r.x_mm));
+        if (ox <= 0) continue;
+        grid[iy * nx + ix] += pd * ox * oy;
+      }
+    }
+  }
+  return grid;
+}
+
+namespace {
+
+// Relative switching-activity weight of each floorplan component; used to
+// split the design's peak power across blocks.
+double activity_weight(const std::string& name) {
+  static const std::map<std::string, double> w = {
+      {"rram arrays", 2.0},         {"wl shifters/iso", 0.8},
+      {"hv periphery", 0.8},        {"lv periphery", 1.0},
+      {"adc", 6.0},                 {"digital logic", 4.0},
+      {"sram buffer", 1.5},         {"sram-cim arrays", 3.0},
+      {"shared lv periphery", 1.0}, {"tsv keep-out", 0.1},
+  };
+  auto it = w.find(name);
+  return it == w.end() ? 1.0 : it->second;
+}
+
+// Components placed toward the south edge (high power density there gives
+// the Fig. 5 gradient).
+bool south_block(const std::string& name) {
+  return name == "adc" || name == "hv periphery" || name == "wl shifters/iso" ||
+         name == "digital logic";
+}
+
+}  // namespace
+
+std::vector<TierFloorplan> build_floorplan(const arch::DesignSpec& design) {
+  const AreaBreakdown area = compute_area(design);
+  const EnergyResult energy = compute_energy(design);
+  const int ntiers = design.kind == arch::DesignKind::kH3dThreeTier ? 3 : 1;
+
+  // Power split: weight × component area.
+  double weight_sum = 0.0;
+  for (const auto& i : area.items) weight_sum += activity_weight(i.component) * i.area_mm2;
+  const double total_W = energy.power_mW * 1e-3;
+
+  // Common die size: footprint of the largest tier, square aspect.
+  const double fp = area.footprint_mm2();
+  const double die = std::sqrt(fp);
+
+  std::vector<TierFloorplan> tiers;
+  for (int t = 1; t <= ntiers; ++t) {
+    TierFloorplan tf;
+    tf.tier = t;
+    tf.die_w_mm = die;
+    tf.die_h_mm = die;
+
+    // Gather this tier's components, south blocks first (placed from y=0).
+    std::vector<AreaItem> items;
+    for (const auto& i : area.items) {
+      if (i.tier == t) items.push_back(i);
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const AreaItem& a, const AreaItem& b) {
+                       return south_block(a.component) > south_block(b.component);
+                     });
+
+    // Slice the die into horizontal bands proportional to component area
+    // (the die may have slack if this tier is smaller than the footprint).
+    double y = 0.0;
+    for (const auto& i : items) {
+      PlacedRect r;
+      r.name = i.component;
+      r.x_mm = 0.0;
+      r.y_mm = y;
+      r.w_mm = die;
+      r.h_mm = i.area_mm2 / die;
+      r.power_W = weight_sum > 0
+                      ? total_W * activity_weight(i.component) * i.area_mm2 / weight_sum
+                      : 0.0;
+      y += r.h_mm;
+      tf.rects.push_back(std::move(r));
+    }
+    tiers.push_back(std::move(tf));
+  }
+  return tiers;
+}
+
+}  // namespace h3dfact::ppa

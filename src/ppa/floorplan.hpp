@@ -1,0 +1,46 @@
+#pragma once
+// Floor plan approximation (Sec. IV-C, Fig. 4) and power-map generation for
+// the thermal analysis (Fig. 5). Components are packed into equal-size dies
+// (the stack is area-balanced); power-dense blocks (ADCs, programming
+// drivers) are placed toward the die's southern edge, which is what gives
+// Fig. 5 its north–south gradient.
+
+#include <string>
+#include <vector>
+
+#include "ppa/area_model.hpp"
+#include "ppa/energy_model.hpp"
+
+namespace h3dfact::ppa {
+
+/// Axis-aligned placed component.
+struct PlacedRect {
+  std::string name;
+  double x_mm = 0.0, y_mm = 0.0;   ///< lower-left corner
+  double w_mm = 0.0, h_mm = 0.0;
+  double power_W = 0.0;
+
+  [[nodiscard]] double area_mm2() const { return w_mm * h_mm; }
+  [[nodiscard]] double power_density_W_mm2() const {
+    return area_mm2() > 0 ? power_W / area_mm2() : 0.0;
+  }
+};
+
+/// One die of the stack with its placed components.
+struct TierFloorplan {
+  int tier = 1;
+  double die_w_mm = 0.0, die_h_mm = 0.0;
+  std::vector<PlacedRect> rects;
+
+  [[nodiscard]] double total_power_W() const;
+
+  /// Sample the power map onto an nx×ny grid (row-major, W per cell).
+  /// Cell (ix, iy) covers [ix·dx,(ix+1)dx) × [iy·dy,(iy+1)dy); iy=0 is south.
+  [[nodiscard]] std::vector<double> power_grid(std::size_t nx, std::size_t ny) const;
+};
+
+/// Build the stack floorplan for a design. Component power is apportioned
+/// from the design's peak power using per-component activity weights.
+std::vector<TierFloorplan> build_floorplan(const arch::DesignSpec& design);
+
+}  // namespace h3dfact::ppa

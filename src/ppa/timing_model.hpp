@@ -1,0 +1,27 @@
+#pragma once
+// Clock frequency and throughput model (Table III "Frequency"/"Throughput").
+//
+// The 2D designs run at the 200 MHz base clock; the H3D stack pays a
+// parasitic penalty on every cross-tier signal (TSV + hybrid bond
+// capacitance on the critical path), reproducing the 200 → 185 MHz derate.
+// Peak throughput counts 2 ops (multiply + accumulate) per cell of every
+// concurrently-active array, amortized over the MVM latency.
+
+#include "arch/design.hpp"
+
+namespace h3dfact::ppa {
+
+struct TimingResult {
+  double frequency_MHz = 0.0;
+  double tops = 0.0;              ///< peak throughput
+  double ops_per_cycle = 0.0;
+  double mvm_latency_cycles = 0.0;
+};
+
+/// Clock frequency of a design (MHz).
+double clock_MHz(const arch::DesignSpec& design);
+
+/// Peak-throughput analysis of a design.
+TimingResult compute_timing(const arch::DesignSpec& design);
+
+}  // namespace h3dfact::ppa

@@ -1,0 +1,23 @@
+#include "resonator/limit_cycle.hpp"
+
+namespace h3dfact::resonator {
+
+std::optional<CycleInfo> LimitCycleDetector::observe(std::uint64_t state_hash,
+                                                     std::size_t t) {
+  auto [it, inserted] = seen_.emplace(state_hash, t);
+  if (inserted) return std::nullopt;
+  if (!found_) {
+    CycleInfo info;
+    info.first_seen = it->second;
+    info.revisit = t;
+    found_ = info;
+  }
+  return found_;
+}
+
+void LimitCycleDetector::reset() {
+  seen_.clear();
+  found_.reset();
+}
+
+}  // namespace h3dfact::resonator

@@ -1,0 +1,39 @@
+#pragma once
+// Limit-cycle detection for the deterministic resonator (Sec. II-B, Fig. 2b).
+//
+// The deterministic dynamics are a map on a finite state space, so any
+// non-converging trajectory must eventually revisit a state and then cycle
+// forever. We hash the joint factor state each iteration and detect the
+// first revisit, reporting the cycle entry time and cycle length.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace h3dfact::resonator {
+
+/// Result of a detected revisit.
+struct CycleInfo {
+  std::size_t first_seen = 0;  ///< iteration at which the state first occurred
+  std::size_t revisit = 0;     ///< iteration of the revisit
+  [[nodiscard]] std::size_t length() const { return revisit - first_seen; }
+};
+
+/// Hash-based state-revisit detector.
+class LimitCycleDetector {
+ public:
+  /// Record the joint-state hash for iteration `t`.
+  /// Returns cycle info the first time a previously-seen state recurs.
+  std::optional<CycleInfo> observe(std::uint64_t state_hash, std::size_t t);
+
+  [[nodiscard]] bool cycle_found() const { return found_.has_value(); }
+  [[nodiscard]] const std::optional<CycleInfo>& info() const { return found_; }
+
+  void reset();
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> seen_;
+  std::optional<CycleInfo> found_;
+};
+
+}  // namespace h3dfact::resonator

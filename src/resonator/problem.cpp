@@ -1,0 +1,43 @@
+#include "resonator/problem.hpp"
+
+#include <stdexcept>
+
+namespace h3dfact::resonator {
+
+ProblemGenerator::ProblemGenerator(std::size_t dim, std::size_t factors,
+                                   std::size_t codebook_size, util::Rng& rng)
+    : set_(std::make_shared<hdc::CodebookSet>(dim, factors, codebook_size, rng)) {}
+
+ProblemGenerator::ProblemGenerator(std::shared_ptr<const hdc::CodebookSet> set)
+    : set_(std::move(set)) {
+  if (!set_ || set_->factors() == 0) {
+    throw std::invalid_argument("ProblemGenerator needs a non-empty codebook set");
+  }
+}
+
+FactorizationProblem ProblemGenerator::sample(util::Rng& rng) const {
+  std::vector<std::size_t> idx(set_->factors());
+  for (std::size_t f = 0; f < set_->factors(); ++f) {
+    idx[f] = rng.below(set_->book(f).size());
+  }
+  return make(idx);
+}
+
+FactorizationProblem ProblemGenerator::sample_noisy(double flip_prob,
+                                                    util::Rng& rng) const {
+  FactorizationProblem p = sample(rng);
+  p.query = p.query.with_flips(flip_prob, rng);
+  p.query_noise = flip_prob;
+  return p;
+}
+
+FactorizationProblem ProblemGenerator::make(
+    const std::vector<std::size_t>& indices) const {
+  FactorizationProblem p;
+  p.codebooks = set_;
+  p.ground_truth = indices;
+  p.query = set_->compose(indices);
+  return p;
+}
+
+}  // namespace h3dfact::resonator

@@ -1,0 +1,59 @@
+#pragma once
+// Factorization problem instances (Sec. II-B): given a product vector
+// s = x_1 ⊙ ... ⊙ x_F and the F codebooks, recover the factor indices.
+
+#include <memory>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "util/rng.hpp"
+
+namespace h3dfact::resonator {
+
+/// A single factorization instance over a shared codebook set.
+struct FactorizationProblem {
+  std::shared_ptr<const hdc::CodebookSet> codebooks;
+  std::vector<std::size_t> ground_truth;  ///< index per factor
+  hdc::BipolarVector query;               ///< product vector (possibly noisy)
+  double query_noise = 0.0;               ///< element flip probability applied
+
+  [[nodiscard]] std::size_t dim() const { return codebooks->dim(); }
+  [[nodiscard]] std::size_t factors() const { return codebooks->factors(); }
+
+  /// True iff `indices` matches the ground truth exactly.
+  [[nodiscard]] bool is_correct(const std::vector<std::size_t>& indices) const {
+    return indices == ground_truth;
+  }
+};
+
+/// Generator of random problem instances over one codebook set.
+class ProblemGenerator {
+ public:
+  /// Create a fresh codebook set: F codebooks of M vectors, dimension D.
+  ProblemGenerator(std::size_t dim, std::size_t factors, std::size_t codebook_size,
+                   util::Rng& rng);
+
+  /// Wrap an existing codebook set.
+  explicit ProblemGenerator(std::shared_ptr<const hdc::CodebookSet> set);
+
+  [[nodiscard]] const hdc::CodebookSet& codebooks() const { return *set_; }
+  [[nodiscard]] std::shared_ptr<const hdc::CodebookSet> codebooks_ptr() const {
+    return set_;
+  }
+
+  /// Random instance with a clean query.
+  [[nodiscard]] FactorizationProblem sample(util::Rng& rng) const;
+
+  /// Random instance whose query has each element flipped with prob p
+  /// (models an approximate product vector from a perceptual frontend).
+  [[nodiscard]] FactorizationProblem sample_noisy(double flip_prob,
+                                                  util::Rng& rng) const;
+
+  /// Instance with explicit ground-truth indices (clean query).
+  [[nodiscard]] FactorizationProblem make(const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::shared_ptr<const hdc::CodebookSet> set_;
+};
+
+}  // namespace h3dfact::resonator

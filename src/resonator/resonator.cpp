@@ -1,0 +1,214 @@
+#include "resonator/resonator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h3dfact::resonator {
+
+ExactMvmEngine::ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set)
+    : set_(std::move(set)) {
+  if (!set_) throw std::invalid_argument("null codebook set");
+}
+
+std::vector<int> ExactMvmEngine::similarity(std::size_t factor,
+                                            const hdc::BipolarVector& u,
+                                            util::Rng&) {
+  return set_->book(factor).similarity(u);
+}
+
+std::vector<int> ExactMvmEngine::project(std::size_t factor,
+                                         const std::vector<int>& coeffs,
+                                         util::Rng&) {
+  return set_->book(factor).project(coeffs);
+}
+
+ResonatorNetwork::ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,
+                                   ResonatorOptions options)
+    : set_(std::move(set)),
+      engine_(std::make_shared<ExactMvmEngine>(set_)),
+      options_(std::move(options)) {
+  if (!set_ || set_->factors() == 0) {
+    throw std::invalid_argument("resonator needs a non-empty codebook set");
+  }
+}
+
+ResonatorNetwork::ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,
+                                   std::shared_ptr<MvmEngine> engine,
+                                   ResonatorOptions options)
+    : set_(std::move(set)), engine_(std::move(engine)), options_(std::move(options)) {
+  if (!set_ || set_->factors() == 0) {
+    throw std::invalid_argument("resonator needs a non-empty codebook set");
+  }
+  if (!engine_) throw std::invalid_argument("null MVM engine");
+}
+
+namespace {
+
+std::size_t argmax(const std::vector<int>& xs) {
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::uint64_t joint_hash(const std::vector<hdc::BipolarVector>& estimates) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& e : estimates) {
+    h ^= e.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
+                                      util::Rng& rng) const {
+  if (problem.codebooks.get() != set_.get() &&
+      (problem.factors() != set_->factors() || problem.dim() != set_->dim())) {
+    throw std::invalid_argument("problem incompatible with resonator codebooks");
+  }
+  const std::size_t F = set_->factors();
+  const std::size_t D = set_->dim();
+  const bool deterministic_run =
+      !options_.channel || options_.channel->deterministic();
+  PhaseProfiler* prof = options_.profiler;
+
+  // Initial estimates: superposition of each codebook (or random).
+  std::vector<hdc::BipolarVector> est(F);
+  for (std::size_t f = 0; f < F; ++f) {
+    if (options_.random_init) {
+      est[f] = hdc::BipolarVector::random(D, rng);
+    } else {
+      est[f] = options_.random_tie_break ? set_->book(f).superposition(rng)
+                                         : set_->book(f).superposition();
+    }
+  }
+
+  // Running product P = s ⊙ x̂_1 ⊙ ... ⊙ x̂_F, so that u_f = P ⊙ x̂_f.
+  auto total_product = [&](const std::vector<hdc::BipolarVector>& e) {
+    hdc::BipolarVector p = problem.query;
+    for (const auto& v : e) p.bind_inplace(v);
+    return p;
+  };
+  hdc::BipolarVector P = total_product(est);
+
+  ResonatorResult result;
+  result.decoded.assign(F, 0);
+  LimitCycleDetector cycles;
+  if (options_.detect_limit_cycles && deterministic_run) {
+    cycles.observe(joint_hash(est), 0);
+  }
+
+  const auto success_dot = static_cast<long long>(
+      options_.success_threshold * static_cast<double>(D));
+
+  for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
+    // Synchronous mode reads every factor against the previous state.
+    const std::vector<hdc::BipolarVector>* read_state = &est;
+    std::vector<hdc::BipolarVector> prev;
+    hdc::BipolarVector P_read = P;
+    if (options_.update == UpdateMode::kSynchronous) {
+      prev = est;
+      read_state = &prev;
+    }
+
+    for (std::size_t f = 0; f < F; ++f) {
+      // Unbind: u_f = s ⊙ ⊙_{f'≠f} x̂_{f'} = P ⊙ x̂_f.
+      hdc::BipolarVector u;
+      {
+        PhaseProfiler::Scope scope(prof, Phase::kUnbind);
+        u = (options_.update == UpdateMode::kSynchronous ? P_read : P)
+                .bind((*read_state)[f]);
+        if (prof) prof->add_ops(Phase::kUnbind, 2 * D);
+      }
+
+      // Similarity MVM.
+      std::vector<int> a;
+      {
+        PhaseProfiler::Scope scope(prof, Phase::kSimilarity);
+        a = engine_->similarity(f, u, rng);
+        if (prof) prof->add_ops(Phase::kSimilarity, set_->book(f).size() * D);
+      }
+      result.decoded[f] = argmax(a);
+      if (options_.clip_negative_similarity) {
+        for (auto& v : a) v = std::max(v, 0);
+      }
+
+      // Similarity channel (noise + ADC).
+      {
+        PhaseProfiler::Scope scope(prof, Phase::kChannel);
+        if (options_.channel) a = options_.channel->apply(a, rng);
+        if (prof) prof->add_ops(Phase::kChannel, a.size());
+      }
+
+      // Projection MVM.
+      std::vector<int> y;
+      {
+        PhaseProfiler::Scope scope(prof, Phase::kProjection);
+        y = engine_->project(f, a, rng);
+        if (prof) prof->add_ops(Phase::kProjection, set_->book(f).size() * D);
+      }
+
+      // Activation. Ties break deterministically in deterministic runs to
+      // keep the dynamics a pure function of state; randomly otherwise.
+      hdc::BipolarVector next;
+      {
+        PhaseProfiler::Scope scope(prof, Phase::kActivation);
+        const bool random_ties = options_.random_tie_break || !deterministic_run;
+        next = random_ties ? hdc::sign_of(y, rng) : hdc::sign_of(y);
+        if (prof) prof->add_ops(Phase::kActivation, D);
+      }
+
+      // Maintain the running product: P ⊙ old_f ⊙ new_f.
+      P.bind_inplace(est[f]);
+      P.bind_inplace(next);
+      est[f] = std::move(next);
+    }
+
+    result.iterations = t;
+
+    // Decode + convergence check.
+    {
+      PhaseProfiler::Scope scope(prof, Phase::kDecode);
+      hdc::BipolarVector composed = set_->compose(result.decoded);
+      const long long d = composed.dot(problem.query);
+      if (prof) prof->add_ops(Phase::kDecode, (F + 1) * D);
+      if (options_.record_correct_trace) {
+        result.correct_trace.push_back(
+            problem.is_correct(result.decoded) ? 1 : 0);
+      }
+      if (d >= success_dot) {
+        result.solved = true;
+        return result;
+      }
+    }
+
+    if (options_.detect_limit_cycles && deterministic_run) {
+      if (auto info = cycles.observe(joint_hash(est), t)) {
+        result.cycle = info;
+        if (options_.stop_on_cycle) return result;
+      }
+    }
+  }
+
+  result.hit_iteration_cap = true;
+  return result;
+}
+
+ResonatorNetwork make_baseline(std::shared_ptr<const hdc::CodebookSet> set,
+                               std::size_t max_iterations) {
+  ResonatorOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.channel = nullptr;
+  return ResonatorNetwork(std::move(set), opts);
+}
+
+ResonatorNetwork make_h3dfact(std::shared_ptr<const hdc::CodebookSet> set,
+                              std::size_t max_iterations, int adc_bits,
+                              double sigma_frac) {
+  ResonatorOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.channel = make_h3dfact_channel(set->dim(), adc_bits, sigma_frac);
+  opts.detect_limit_cycles = false;
+  return ResonatorNetwork(std::move(set), opts);
+}
+
+}  // namespace h3dfact::resonator

@@ -1,0 +1,142 @@
+#pragma once
+// The resonator network factorizer (Sec. II-B state-space equations), in both
+// its deterministic baseline form (Frady et al. [9]) and the stochastic
+// H3DFact form (noisy similarity channel + low-precision ADC, Sec. III-C).
+//
+// Each iteration, for every factor f:
+//   u_f      = s ⊙ ⊙_{f'≠f} x̂_{f'}          (unbinding, XNOR tier-1)
+//   a_f      = X_fᵀ u_f                       (similarity MVM, RRAM tier-3)
+//   ã_f      = channel(a_f)                   (noise + ADC, Sec. III-C)
+//   x̂_f(t+1) = sign(X_f ã_f)                  (projection MVM tier-2 + sign)
+//
+// The loop stops when the composed decoded product matches the query, when a
+// limit cycle / fixed point is detected (deterministic dynamics only), or at
+// the iteration cap.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "resonator/channels.hpp"
+#include "resonator/limit_cycle.hpp"
+#include "resonator/problem.hpp"
+#include "resonator/profiler.hpp"
+#include "util/rng.hpp"
+
+namespace h3dfact::resonator {
+
+/// Abstraction of the two MVM kernels so the same loop can run on exact
+/// software kernels or through a modelled hardware path (cim/arch layers).
+class MvmEngine {
+ public:
+  virtual ~MvmEngine() = default;
+
+  /// a = X_fᵀ u (raw similarity read-out; may already include device noise).
+  [[nodiscard]] virtual std::vector<int> similarity(std::size_t factor,
+                                                    const hdc::BipolarVector& u,
+                                                    util::Rng& rng) = 0;
+
+  /// y = X_f ã (projection accumulation; may include device noise).
+  [[nodiscard]] virtual std::vector<int> project(std::size_t factor,
+                                                 const std::vector<int>& coeffs,
+                                                 util::Rng& rng) = 0;
+};
+
+/// Exact software kernels over a codebook set.
+class ExactMvmEngine final : public MvmEngine {
+ public:
+  explicit ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set);
+  [[nodiscard]] std::vector<int> similarity(std::size_t factor,
+                                            const hdc::BipolarVector& u,
+                                            util::Rng& rng) override;
+  [[nodiscard]] std::vector<int> project(std::size_t factor,
+                                         const std::vector<int>& coeffs,
+                                         util::Rng& rng) override;
+
+ private:
+  std::shared_ptr<const hdc::CodebookSet> set_;
+};
+
+/// Factor-update schedule.
+enum class UpdateMode {
+  kAsynchronous,  ///< each factor sees the freshest other estimates (default)
+  kSynchronous,   ///< all factors updated from the previous iteration's state
+};
+
+/// Configuration of a resonator run.
+struct ResonatorOptions {
+  UpdateMode update = UpdateMode::kAsynchronous;
+  std::size_t max_iterations = 1000;
+  /// Similarity-path transformation; nullptr = exact (deterministic baseline).
+  std::shared_ptr<const SimilarityChannel> channel;
+  /// Start from random states instead of codebook superpositions.
+  bool random_init = false;
+  /// Resolve sign() ties randomly (metastability of a real comparator) even
+  /// when the similarity channel is deterministic. Ties at exactly zero are
+  /// rare after the first iterations, so limit-cycle detection by state
+  /// revisit remains meaningful.
+  bool random_tie_break = true;
+  /// Rectify the similarity vector (negative dot products → 0) before the
+  /// channel/projection. This nonlinear cleanup is essential for capacity —
+  /// without it the dynamics cycle even at small problem sizes — and matches
+  /// the nonnegative similarity activations of the in-memory factorizer
+  /// [15] whose readout the H3DFact similarity path inherits.
+  bool clip_negative_similarity = true;
+  /// Cosine(compose(decode), query) required to declare success.
+  double success_threshold = 1.0;
+  /// Detect state revisits (meaningful only for deterministic dynamics).
+  bool detect_limit_cycles = true;
+  /// Stop as soon as a limit cycle is found (otherwise keep iterating).
+  bool stop_on_cycle = true;
+  /// Record, per iteration, whether the decode matched the ground truth.
+  bool record_correct_trace = false;
+  /// Optional phase profiler (Fig. 1c).
+  PhaseProfiler* profiler = nullptr;
+};
+
+/// Outcome of one factorization run.
+struct ResonatorResult {
+  bool solved = false;                  ///< composed decode matched the query
+  std::vector<std::size_t> decoded;     ///< argmax index per factor at stop
+  std::size_t iterations = 0;           ///< iterations executed
+  bool hit_iteration_cap = false;
+  std::optional<CycleInfo> cycle;       ///< limit cycle, if one was detected
+  std::vector<char> correct_trace;      ///< per-iteration decode==truth (opt-in)
+};
+
+/// The factorizer. Reusable across problems that share its codebook set.
+class ResonatorNetwork {
+ public:
+  /// Software-exact engine over the given codebooks.
+  ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,
+                   ResonatorOptions options);
+
+  /// Custom MVM engine (e.g. the modelled H3DFact chip).
+  ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,
+                   std::shared_ptr<MvmEngine> engine, ResonatorOptions options);
+
+  [[nodiscard]] const ResonatorOptions& options() const { return options_; }
+  [[nodiscard]] const hdc::CodebookSet& codebooks() const { return *set_; }
+
+  /// Factorize one problem instance. `rng` drives all stochastic elements.
+  [[nodiscard]] ResonatorResult run(const FactorizationProblem& problem,
+                                    util::Rng& rng) const;
+
+ private:
+  std::shared_ptr<const hdc::CodebookSet> set_;
+  std::shared_ptr<MvmEngine> engine_;
+  ResonatorOptions options_;
+};
+
+/// Deterministic baseline resonator network [9].
+ResonatorNetwork make_baseline(std::shared_ptr<const hdc::CodebookSet> set,
+                               std::size_t max_iterations);
+
+/// H3DFact stochastic factorizer: Gaussian device noise + sense threshold +
+/// 4-bit unsigned ADC on the similarity path (Sec. III-C).
+ResonatorNetwork make_h3dfact(std::shared_ptr<const hdc::CodebookSet> set,
+                              std::size_t max_iterations, int adc_bits = 4,
+                              double sigma_frac = 0.5);
+
+}  // namespace h3dfact::resonator

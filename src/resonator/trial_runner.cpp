@@ -1,0 +1,151 @@
+#include "resonator/trial_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace h3dfact::resonator {
+
+double TrialStats::accuracy_ci() const {
+  return util::wilson_halfwidth(correct, trials);
+}
+
+double TrialStats::iterations_quantile(double q) const {
+  if (trials == 0) return -1.0;
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(trials)));
+  if (iteration_samples.size() < needed || needed == 0) return -1.0;
+  std::vector<double> xs = iteration_samples;
+  std::sort(xs.begin(), xs.end());
+  return xs[needed - 1];
+}
+
+double TrialStats::median_iterations() const {
+  if (iteration_samples.empty()) return -1.0;
+  return util::median(iteration_samples);
+}
+
+double TrialStats::accuracy_at(std::size_t k) const {
+  if (trials == 0 || correct_by_iteration.empty()) return 0.0;
+  const std::size_t idx = std::min(k, correct_by_iteration.size() - 1);
+  return static_cast<double>(correct_by_iteration[idx]) /
+         static_cast<double>(trials);
+}
+
+TrialStats run_trials(const TrialConfig& config, bool record_traces) {
+  if (config.trials == 0) throw std::invalid_argument("zero trials");
+
+  util::Rng master(config.seed);
+  auto generator = std::make_shared<ProblemGenerator>(
+      config.dim, config.factors, config.codebook_size, master);
+  auto set = generator->codebooks_ptr();
+
+  auto factory = config.factory;
+  if (!factory) {
+    const std::size_t cap = config.max_iterations;
+    factory = [cap](std::shared_ptr<const hdc::CodebookSet> s) {
+      return make_baseline(std::move(s), cap);
+    };
+  }
+
+  unsigned nthreads = config.threads;
+  if (nthreads == 0) {
+    nthreads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  nthreads = static_cast<unsigned>(
+      std::min<std::size_t>(nthreads, config.trials));
+
+  TrialStats total;
+  total.trials = config.trials;
+  if (record_traces) {
+    total.correct_by_iteration.assign(config.max_iterations + 1, 0);
+  }
+
+  std::mutex merge_mutex;
+  std::atomic<std::size_t> next_trial{0};
+
+  auto worker = [&](unsigned worker_id) {
+    util::Rng seeder(config.seed);
+    (void)worker_id;
+    // Each network instance is immutable/shared-safe; build once per thread.
+    ResonatorNetwork net = factory(set);
+    ResonatorOptions opts = net.options();
+    if (record_traces && !opts.record_correct_trace) {
+      opts.record_correct_trace = true;
+      net = ResonatorNetwork(set, opts);
+    }
+
+    TrialStats local;
+    std::vector<std::size_t> local_correct_hist;
+    if (record_traces) local_correct_hist.assign(config.max_iterations + 1, 0);
+
+    for (;;) {
+      const std::size_t t = next_trial.fetch_add(1);
+      if (t >= config.trials) break;
+      util::Rng trial_rng(config.seed ^ (0xabcdef12345ULL + t * 0x9e3779b97f4a7c15ULL));
+      FactorizationProblem problem =
+          config.query_flip_prob > 0.0
+              ? generator->sample_noisy(config.query_flip_prob, trial_rng)
+              : generator->sample(trial_rng);
+
+      ResonatorResult r = net.run(problem, trial_rng);
+      const bool correct = problem.is_correct(r.decoded);
+      if (r.solved) {
+        ++local.solved;
+        local.iterations_solved.add(static_cast<double>(r.iterations));
+        local.iteration_samples.push_back(static_cast<double>(r.iterations));
+      }
+      if (correct) ++local.correct;
+      if (r.cycle) ++local.cycles;
+      if (record_traces) {
+        // correct_trace[i] == decode correctness after iteration i+1; count
+        // the first iteration from which the decode stays correct to the end.
+        std::size_t first_stable = r.correct_trace.size() + 1;
+        for (std::size_t i = r.correct_trace.size(); i-- > 0;) {
+          if (r.correct_trace[i]) {
+            first_stable = i + 1;
+          } else {
+            break;
+          }
+        }
+        // A solved-and-correct run stays correct after it stops.
+        if (first_stable <= r.correct_trace.size() ||
+            (r.solved && correct)) {
+          const std::size_t from = std::min(first_stable, config.max_iterations);
+          for (std::size_t k = from; k <= config.max_iterations; ++k) {
+            ++local_correct_hist[k];
+          }
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    total.solved += local.solved;
+    total.correct += local.correct;
+    total.cycles += local.cycles;
+    total.iterations_solved.merge(local.iterations_solved);
+    total.iteration_samples.insert(total.iteration_samples.end(),
+                                   local.iteration_samples.begin(),
+                                   local.iteration_samples.end());
+    if (record_traces) {
+      for (std::size_t k = 0; k < local_correct_hist.size(); ++k) {
+        total.correct_by_iteration[k] += local_correct_hist[k];
+      }
+    }
+  };
+
+  if (nthreads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i) pool.emplace_back(worker, i);
+    for (auto& th : pool) th.join();
+  }
+  return total;
+}
+
+}  // namespace h3dfact::resonator

@@ -1,0 +1,62 @@
+#pragma once
+// Multi-trial experiment harness: runs many independent factorization trials
+// (optionally in parallel) and aggregates the statistics reported in
+// Table II, Fig. 6a/6b and the ablation benches.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "resonator/resonator.hpp"
+#include "util/stats.hpp"
+
+namespace h3dfact::resonator {
+
+/// Experiment configuration.
+struct TrialConfig {
+  std::size_t dim = 1024;        ///< hypervector dimension D
+  std::size_t factors = 3;       ///< F
+  std::size_t codebook_size = 16;///< M (the paper's Table II "D" column)
+  std::size_t trials = 100;
+  std::size_t max_iterations = 1000;
+  double query_flip_prob = 0.0;  ///< query noise (perceptual frontend)
+  std::uint64_t seed = 1;
+  unsigned threads = 0;          ///< 0 = hardware concurrency
+  /// Builds the factorizer for a given codebook set. Defaults to baseline.
+  std::function<ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet>)> factory;
+};
+
+/// Aggregated outcome over all trials.
+struct TrialStats {
+  std::size_t trials = 0;
+  std::size_t solved = 0;        ///< composed decode matched query
+  std::size_t correct = 0;       ///< decode matched ground truth
+  std::size_t cycles = 0;        ///< limit cycles detected (deterministic)
+  util::RunningStats iterations_solved;  ///< iterations among solved trials
+  std::vector<double> iteration_samples; ///< per-solved-trial iteration counts
+  std::vector<std::size_t> correct_by_iteration;  ///< trace histogram (opt-in)
+
+  [[nodiscard]] double accuracy() const {
+    return trials ? static_cast<double>(correct) / static_cast<double>(trials) : 0.0;
+  }
+  [[nodiscard]] double solve_rate() const {
+    return trials ? static_cast<double>(solved) / static_cast<double>(trials) : 0.0;
+  }
+  /// 95% Wilson half-width on the accuracy estimate.
+  [[nodiscard]] double accuracy_ci() const;
+  /// Iterations within which a fraction `q` of all trials converged;
+  /// returns -1 if fewer than q of the trials converged at all.
+  [[nodiscard]] double iterations_quantile(double q) const;
+  /// Median iterations among solved trials (-1 if none solved).
+  [[nodiscard]] double median_iterations() const;
+  /// Accuracy after exactly k iterations (requires trace recording).
+  [[nodiscard]] double accuracy_at(std::size_t k) const;
+};
+
+/// Run the experiment described by `config`.
+/// If `record_traces` is set, per-iteration correctness histograms are kept
+/// (needed for the accuracy-vs-iteration curves of Fig. 6a/6b).
+TrialStats run_trials(const TrialConfig& config, bool record_traces = false);
+
+}  // namespace h3dfact::resonator

@@ -1,0 +1,127 @@
+#include "thermal/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace h3dfact::thermal {
+
+const LayerTemps& ThermalSolution::layer(const std::string& name) const {
+  for (const auto& l : layers) {
+    if (l.name == name) return l;
+  }
+  throw std::out_of_range("no such layer: " + name);
+}
+
+double ThermalSolution::hottest_C() const {
+  double t = -1e30;
+  for (const auto& l : layers) t = std::max(t, l.max_C);
+  return t;
+}
+
+ThermalGrid::ThermalGrid(GridConfig config, std::vector<Layer> layers)
+    : config_(std::move(config)), layers_(std::move(layers)) {
+  if (layers_.empty()) throw std::invalid_argument("empty layer stack");
+  if (config_.nx == 0 || config_.ny == 0) {
+    throw std::invalid_argument("grid must be non-empty");
+  }
+  const std::size_t n = config_.nx * config_.ny;
+  for (auto& l : layers_) {
+    if (l.thickness_um <= 0 || l.k_W_mK <= 0) {
+      throw std::invalid_argument("layer needs positive thickness/conductivity");
+    }
+    if (!l.power_W.empty() && l.power_W.size() != n) {
+      throw std::invalid_argument("power map size mismatch in layer " + l.name);
+    }
+  }
+}
+
+double ThermalGrid::total_power_W() const {
+  double p = 0.0;
+  for (const auto& l : layers_) {
+    for (double w : l.power_W) p += w;
+  }
+  return p;
+}
+
+ThermalSolution ThermalGrid::solve() const {
+  const std::size_t nx = config_.nx, ny = config_.ny, nc = nx * ny;
+  const std::size_t nl = layers_.size();
+  const double dx = config_.width_mm * 1e-3 / static_cast<double>(nx);
+  const double dy = config_.height_mm * 1e-3 / static_cast<double>(ny);
+
+  // Per-layer conductances.
+  std::vector<double> gx(nl), gy(nl), gz_half(nl);  // lateral + half-vertical
+  for (std::size_t l = 0; l < nl; ++l) {
+    const double t = layers_[l].thickness_um * 1e-6;
+    const double k = layers_[l].k_W_mK;
+    gx[l] = k * dy * t / dx;            // east-west conductance
+    gy[l] = k * dx * t / dy;            // north-south conductance
+    gz_half[l] = k * dx * dy / (t / 2); // cell centre to face
+  }
+  // Inter-layer vertical conductance: series of two half-cells (layer 0 is
+  // the TOP of the stack).
+  std::vector<double> gz(nl > 0 ? nl - 1 : 0);
+  for (std::size_t l = 0; l + 1 < nl; ++l) {
+    gz[l] = 1.0 / (1.0 / gz_half[l] + 1.0 / gz_half[l + 1]);
+  }
+  const double g_top = config_.h_top_W_m2K * dx * dy;     // to ambient
+  const double g_bottom = config_.h_bottom_W_m2K * dx * dy;
+
+  // Temperature state, initialized at ambient.
+  std::vector<std::vector<double>> T(nl, std::vector<double>(nc, config_.ambient_C));
+
+  auto cell_power = [&](std::size_t l, std::size_t c) {
+    return layers_[l].power_W.empty() ? 0.0 : layers_[l].power_W[c];
+  };
+
+  const double omega = config_.sor_omega;
+  double residual = 0.0;
+  std::size_t sweep = 0;
+  for (; sweep < config_.max_sweeps; ++sweep) {
+    residual = 0.0;
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+          const std::size_t c = iy * nx + ix;
+          double gsum = 0.0, flux = cell_power(l, c);
+          // Lateral neighbours (adiabatic side walls).
+          if (ix > 0)      { gsum += gx[l]; flux += gx[l] * T[l][c - 1]; }
+          if (ix + 1 < nx) { gsum += gx[l]; flux += gx[l] * T[l][c + 1]; }
+          if (iy > 0)      { gsum += gy[l]; flux += gy[l] * T[l][c - nx]; }
+          if (iy + 1 < ny) { gsum += gy[l]; flux += gy[l] * T[l][c + nx]; }
+          // Vertical neighbours / boundaries.
+          if (l == 0) { gsum += g_top; flux += g_top * config_.ambient_C; }
+          else        { gsum += gz[l - 1]; flux += gz[l - 1] * T[l - 1][c]; }
+          if (l + 1 == nl) { gsum += g_bottom; flux += g_bottom * config_.ambient_C; }
+          else             { gsum += gz[l]; flux += gz[l] * T[l + 1][c]; }
+
+          const double t_new = flux / gsum;
+          const double t_sor = T[l][c] + omega * (t_new - T[l][c]);
+          residual = std::max(residual, std::abs(t_sor - T[l][c]));
+          T[l][c] = t_sor;
+        }
+      }
+    }
+    if (residual < config_.tolerance_C) break;
+  }
+
+  ThermalSolution sol;
+  sol.sweeps = sweep + 1;
+  sol.residual_C = residual;
+  sol.converged = residual < config_.tolerance_C;
+  for (std::size_t l = 0; l < nl; ++l) {
+    LayerTemps lt;
+    lt.name = layers_[l].name;
+    lt.cells_C = T[l];
+    lt.min_C = *std::min_element(T[l].begin(), T[l].end());
+    lt.max_C = *std::max_element(T[l].begin(), T[l].end());
+    double s = 0.0;
+    for (double v : T[l]) s += v;
+    lt.mean_C = s / static_cast<double>(nc);
+    sol.layers.push_back(std::move(lt));
+  }
+  return sol;
+}
+
+}  // namespace h3dfact::thermal

@@ -1,0 +1,99 @@
+#include "thermal/stack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace h3dfact::thermal {
+
+namespace {
+
+/// Embed a tier's power grid (over its die area) into the larger solve
+/// domain, centered.
+std::vector<double> embed_power(const ppa::TierFloorplan& tier,
+                                std::size_t nx, std::size_t ny,
+                                double domain_w_mm, double domain_h_mm) {
+  std::vector<double> out(nx * ny, 0.0);
+  // Sample the tier's own power map on a fine grid, then bin into the
+  // domain cells covered by the centered die shadow.
+  const std::size_t fnx = nx, fny = ny;
+  auto fine = tier.power_grid(fnx, fny);  // over the die only
+  const double x0 = (domain_w_mm - tier.die_w_mm) / 2.0;
+  const double y0 = (domain_h_mm - tier.die_h_mm) / 2.0;
+  const double dxd = domain_w_mm / static_cast<double>(nx);
+  const double dyd = domain_h_mm / static_cast<double>(ny);
+  const double dxf = tier.die_w_mm / static_cast<double>(fnx);
+  const double dyf = tier.die_h_mm / static_cast<double>(fny);
+  for (std::size_t fy = 0; fy < fny; ++fy) {
+    for (std::size_t fx = 0; fx < fnx; ++fx) {
+      const double cx = x0 + (static_cast<double>(fx) + 0.5) * dxf;
+      const double cy = y0 + (static_cast<double>(fy) + 0.5) * dyf;
+      const auto ix = static_cast<std::size_t>(
+          std::clamp(cx / dxd, 0.0, static_cast<double>(nx - 1)));
+      const auto iy = static_cast<std::size_t>(
+          std::clamp(cy / dyd, 0.0, static_cast<double>(ny - 1)));
+      out[iy * nx + ix] += fine[fy * fnx + fx];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ThermalGrid build_stack(const std::vector<ppa::TierFloorplan>& tiers,
+                        const StackParams& p) {
+  if (tiers.empty()) throw std::invalid_argument("no tiers to stack");
+
+  double die_edge = 0.0;
+  for (const auto& t : tiers) die_edge = std::max({die_edge, t.die_w_mm, t.die_h_mm});
+  const double domain = std::max(die_edge * p.domain_scale, p.min_domain_mm);
+
+  GridConfig cfg;
+  cfg.nx = p.grid_nx;
+  cfg.ny = p.grid_ny;
+  cfg.width_mm = domain;
+  cfg.height_mm = domain;
+  cfg.h_top_W_m2K = p.h_top_W_m2K;
+  cfg.ambient_C = p.ambient_C;
+
+  std::vector<Layer> layers;
+  layers.push_back({"tim2", p.tim2_thickness_um, p.k_tim, {}});
+  layers.push_back({"tim1", p.tim1_thickness_um, p.k_tim, {}});
+
+  // Dies top→bottom: floorplan tier 3 (similarity) is the top die.
+  std::vector<ppa::TierFloorplan> order = tiers;
+  std::sort(order.begin(), order.end(),
+            [](const ppa::TierFloorplan& a, const ppa::TierFloorplan& b) {
+              return a.tier > b.tier;
+            });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Layer die;
+    die.name = "die-tier" + std::to_string(order[i].tier);
+    die.thickness_um = p.die_thickness_um;
+    die.k_W_mK = p.k_si;
+    die.power_W = embed_power(order[i], cfg.nx, cfg.ny, domain, domain);
+    layers.push_back(std::move(die));
+    if (i + 1 < order.size()) {
+      // F2F hybrid bond between the top pair, F2B TSV layer lower down.
+      const bool f2f = i == 0;
+      layers.push_back({f2f ? "bond-f2f" : "tsv-f2b",
+                        f2f ? p.bond_thickness_um : p.tsv_layer_um, p.k_bond, {}});
+    }
+  }
+
+  layers.push_back({"bumps", p.bump_thickness_um, p.k_bump, {}});
+  layers.push_back({"package", p.package_thickness_mm * 1000.0, p.k_package, {}});
+  layers.push_back({"pcb", p.pcb_thickness_mm * 1000.0, p.k_pcb, {}});
+
+  return ThermalGrid(cfg, std::move(layers));
+}
+
+std::vector<LayerTemps> die_temps(const ThermalSolution& sol) {
+  std::vector<LayerTemps> out;
+  for (const auto& l : sol.layers) {
+    if (l.name.rfind("die-", 0) == 0) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace h3dfact::thermal

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal command-line flag parser for bench and example binaries.
+//
+// Supported forms: --flag (bool), --key=value, --key value.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace h3dfact::util {
+
+/// Parsed command line with typed accessors and defaults.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] bool flag(const std::string& key, bool def = false) const;
+  [[nodiscard]] std::int64_t i64(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double f64(const std::string& key, double def) const;
+  [[nodiscard]] std::string str(const std::string& key, std::string def) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace h3dfact::util

@@ -1,0 +1,45 @@
+#pragma once
+// Tiny leveled logger. Benches use it for progress lines that should not be
+// mistaken for result rows.
+
+#include <sstream>
+#include <string>
+
+namespace h3dfact::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line to stderr with a level prefix.
+void log(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream ss;
+  (ss << ... << args);
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace h3dfact::util

@@ -1,0 +1,186 @@
+// Tests for the thermal solver: conservation/physics sanity on analytic
+// configurations, stack construction, and the Fig. 5 operating points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppa/floorplan.hpp"
+#include "thermal/grid.hpp"
+#include "thermal/stack.hpp"
+
+namespace {
+
+using namespace h3dfact;
+using namespace h3dfact::thermal;
+
+GridConfig tiny_config() {
+  GridConfig cfg;
+  cfg.nx = 8;
+  cfg.ny = 8;
+  cfg.width_mm = 1.0;
+  cfg.height_mm = 1.0;
+  cfg.h_top_W_m2K = 1000.0;
+  cfg.h_bottom_W_m2K = 0.0;  // adiabatic bottom for analytic checks
+  cfg.ambient_C = 25.0;
+  return cfg;
+}
+
+TEST(ThermalGrid, NoPowerMeansAmbient) {
+  std::vector<Layer> layers{{"die", 100.0, 120.0, {}}};
+  ThermalGrid grid(tiny_config(), layers);
+  auto sol = grid.solve();
+  EXPECT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.layers[0].mean_C, 25.0, 1e-6);
+  EXPECT_NEAR(sol.layers[0].max_C, sol.layers[0].min_C, 1e-6);
+}
+
+TEST(ThermalGrid, UniformPowerMatchesAnalyticConvection) {
+  // With uniform power P over area A and only a convective top boundary,
+  // steady state sits at T = T_amb + P / (h A).
+  auto cfg = tiny_config();
+  const double P = 0.05;  // W
+  std::vector<double> power(cfg.nx * cfg.ny, P / 64.0);
+  std::vector<Layer> layers{{"die", 100.0, 120.0, power}};
+  ThermalGrid grid(cfg, layers);
+  auto sol = grid.solve();
+  const double area_m2 = 1e-3 * 1e-3;
+  const double expect = 25.0 + P / (cfg.h_top_W_m2K * area_m2);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.layers[0].mean_C, expect, expect * 0.01);
+}
+
+TEST(ThermalGrid, SeriesLayersAddResistance) {
+  auto cfg = tiny_config();
+  const double P = 0.02;
+  std::vector<double> power(cfg.nx * cfg.ny, P / 64.0);
+  // Power injected below an insulating layer: the die runs hotter than with
+  // a conductive one.
+  std::vector<Layer> good{{"tim", 100.0, 40.0, {}}, {"die", 100.0, 120.0, power}};
+  std::vector<Layer> bad{{"tim", 100.0, 0.05, {}}, {"die", 100.0, 120.0, power}};
+  auto sol_good = ThermalGrid(cfg, good).solve();
+  auto sol_bad = ThermalGrid(cfg, bad).solve();
+  EXPECT_GT(sol_bad.layer("die").mean_C, sol_good.layer("die").mean_C + 0.5);
+}
+
+TEST(ThermalGrid, HotspotSpreadsMonotonically) {
+  auto cfg = tiny_config();
+  std::vector<double> power(cfg.nx * cfg.ny, 0.0);
+  power[3 * cfg.nx + 3] = 0.02;  // point source
+  std::vector<Layer> layers{{"die", 200.0, 120.0, power}};
+  auto sol = ThermalGrid(cfg, layers).solve();
+  const auto& T = sol.layers[0].cells_C;
+  // Temperature decays away from the source.
+  EXPECT_GT(T[3 * cfg.nx + 3], T[3 * cfg.nx + 6]);
+  EXPECT_GT(T[3 * cfg.nx + 3], T[7 * cfg.nx + 3]);
+  // Everything is above ambient.
+  for (double t : T) EXPECT_GT(t, 25.0 - 1e-9);
+}
+
+TEST(ThermalGrid, DeeperLayerHotterThanSurface) {
+  // Heat escapes through the top: a powered bottom layer sits hotter than
+  // the unpowered top layer.
+  auto cfg = tiny_config();
+  std::vector<double> power(cfg.nx * cfg.ny, 0.0003);
+  std::vector<Layer> layers{{"top", 100.0, 120.0, {}},
+                            {"mid", 100.0, 120.0, {}},
+                            {"bottom", 100.0, 120.0, power}};
+  auto sol = ThermalGrid(cfg, layers).solve();
+  EXPECT_GT(sol.layer("bottom").mean_C, sol.layer("top").mean_C);
+  EXPECT_GT(sol.layer("mid").mean_C, sol.layer("top").mean_C);
+  EXPECT_DOUBLE_EQ(sol.hottest_C(), sol.layer("bottom").max_C);
+}
+
+TEST(ThermalGrid, ValidatesInputs) {
+  auto cfg = tiny_config();
+  EXPECT_THROW(ThermalGrid(cfg, {}), std::invalid_argument);
+  std::vector<Layer> bad_thickness{{"die", -1.0, 100.0, {}}};
+  EXPECT_THROW(ThermalGrid(cfg, bad_thickness), std::invalid_argument);
+  std::vector<Layer> bad_power{{"die", 100.0, 100.0, std::vector<double>(3, 0.0)}};
+  EXPECT_THROW(ThermalGrid(cfg, bad_power), std::invalid_argument);
+  GridConfig empty = cfg;
+  empty.nx = 0;
+  EXPECT_THROW(ThermalGrid(empty, {{"die", 100.0, 100.0, {}}}),
+               std::invalid_argument);
+}
+
+TEST(Stack, BuildsExpectedLayerOrder) {
+  auto d = arch::make_design(arch::DesignKind::kH3dThreeTier);
+  auto fp = ppa::build_floorplan(d);
+  auto grid = build_stack(fp);
+  auto sol = grid.solve();
+  // TIMs on top, then tier-3/bond/tier-2/tsv/tier-1, bumps, package, pcb.
+  ASSERT_EQ(sol.layers.size(), 10u);
+  EXPECT_EQ(sol.layers[0].name, "tim2");
+  EXPECT_EQ(sol.layers[2].name, "die-tier3");
+  EXPECT_EQ(sol.layers[3].name, "bond-f2f");
+  EXPECT_EQ(sol.layers[4].name, "die-tier2");
+  EXPECT_EQ(sol.layers[5].name, "tsv-f2b");
+  EXPECT_EQ(sol.layers[6].name, "die-tier1");
+  EXPECT_EQ(sol.layers.back().name, "pcb");
+}
+
+TEST(Stack, PowerConservedIntoSolver) {
+  auto d = arch::make_design(arch::DesignKind::kH3dThreeTier);
+  auto fp = ppa::build_floorplan(d);
+  auto grid = build_stack(fp);
+  double fp_power = 0.0;
+  for (const auto& t : fp) fp_power += t.total_power_W();
+  EXPECT_NEAR(grid.total_power_W(), fp_power, fp_power * 0.02);
+}
+
+TEST(Stack, Fig5OperatingPointH3d) {
+  auto d = arch::make_design(arch::DesignKind::kH3dThreeTier);
+  auto fp = ppa::build_floorplan(d);
+  auto sol = build_stack(fp).solve();
+  ASSERT_TRUE(sol.converged);
+  auto dies = die_temps(sol);
+  ASSERT_EQ(dies.size(), 3u);
+  // Paper: tiers range 46.8–47.8 C at 25 C ambient.
+  for (const auto& die : dies) {
+    EXPECT_GT(die.mean_C, 43.0) << die.name;
+    EXPECT_LT(die.mean_C, 52.0) << die.name;
+  }
+  // RRAM retention is safe (< 100 C, Sec. V-C).
+  EXPECT_LT(sol.hottest_C(), 100.0);
+}
+
+TEST(Stack, TwoDRunsCooler) {
+  auto h3d = build_stack(ppa::build_floorplan(
+                             arch::make_design(arch::DesignKind::kH3dThreeTier)))
+                 .solve();
+  auto flat = build_stack(ppa::build_floorplan(
+                              arch::make_design(arch::DesignKind::kHybrid2D)))
+                  .solve();
+  ASSERT_TRUE(h3d.converged);
+  ASSERT_TRUE(flat.converged);
+  // Fig. 5: the 2D design sits ~3–4 C cooler than the 3D stack.
+  EXPECT_LT(die_temps(flat)[0].mean_C, die_temps(h3d)[0].mean_C);
+}
+
+TEST(Stack, SouthernGradientVisible) {
+  // Fig. 5: power density is higher toward the die's southern region.
+  auto d = arch::make_design(arch::DesignKind::kH3dThreeTier);
+  auto sol = build_stack(ppa::build_floorplan(d)).solve();
+  const auto dies = die_temps(sol);
+  const auto& t1 = dies.back();  // tier-1 carries the ADC band
+  EXPECT_GT(t1.max_C - t1.min_C, 0.02);
+}
+
+TEST(Stack, HigherHtcCoolsChip) {
+  auto d = arch::make_design(arch::DesignKind::kH3dThreeTier);
+  auto fp = ppa::build_floorplan(d);
+  StackParams strong;
+  strong.h_top_W_m2K = 4000.0;
+  auto weak_sol = build_stack(fp).solve();
+  auto strong_sol = build_stack(fp, strong).solve();
+  EXPECT_LT(strong_sol.hottest_C(), weak_sol.hottest_C() - 5.0);
+}
+
+TEST(Stack, LayerLookupThrowsOnUnknown) {
+  auto d = arch::make_design(arch::DesignKind::kHybrid2D);
+  auto sol = build_stack(ppa::build_floorplan(d)).solve();
+  EXPECT_THROW((void)sol.layer("nonexistent"), std::out_of_range);
+}
+
+}  // namespace

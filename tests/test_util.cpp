@@ -1,0 +1,294 @@
+// Unit tests for util: PRNG determinism and distribution sanity, streaming
+// statistics, table formatting, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using h3dfact::util::Cli;
+using h3dfact::util::Rng;
+using h3dfact::util::RunningStats;
+using h3dfact::util::Table;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(3);
+  Rng c1 = parent.fork(0);
+  Rng c2 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c1.next() == c2.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  Rng rng(13);
+  std::vector<int> hist(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++hist[rng.below(5)];
+  for (int c : hist) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(14);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(15);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaledMoments) {
+  Rng rng(16);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BipolarIsBalanced) {
+  Rng rng(18);
+  int sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.bipolar();
+  EXPECT_LT(std::abs(sum), 4 * static_cast<int>(std::sqrt(n)));
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(20);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.gaussian(1.0, 3.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(h3dfact::util::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h3dfact::util::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(h3dfact::util::percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(h3dfact::util::percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  EXPECT_THROW(h3dfact::util::percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Stats, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(h3dfact::util::median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, WilsonHalfwidthShrinksWithTrials) {
+  double w100 = h3dfact::util::wilson_halfwidth(50, 100);
+  double w10000 = h3dfact::util::wilson_halfwidth(5000, 10000);
+  EXPECT_GT(w100, w10000);
+  EXPECT_GT(w100, 0.0);
+  EXPECT_DOUBLE_EQ(h3dfact::util::wilson_halfwidth(0, 0), 0.0);
+}
+
+TEST(Stats, GeomeanKnownValues) {
+  EXPECT_NEAR(h3dfact::util::geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW(h3dfact::util::geomean({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  t.add_note("note line");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("note line"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("x");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+  EXPECT_EQ(Table::fmt_pct(0.993, 1), "99.3%");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("csv");
+  t.set_header({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  t.add_note("a note");
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name,value\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(out.find("# a note"), std::string::npos);
+}
+
+TEST(Table, CsvWithoutHeader) {
+  Table t("csv");
+  t.add_row({"a", "b"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta=7.5", "--flag", "pos"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.i64("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.f64("beta", 0), 7.5);
+  EXPECT_TRUE(cli.flag("flag"));
+  EXPECT_FALSE(cli.flag("missing"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.i64("n", 123), 123);
+  EXPECT_DOUBLE_EQ(cli.f64("x", 2.5), 2.5);
+  EXPECT_EQ(cli.str("s", "dft"), "dft");
+}
+
+TEST(Cli, FalseStringGivesFalseFlag) {
+  const char* argv[] = {"prog", "--verbose=false"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_FALSE(cli.flag("verbose", true));
+}
+
+TEST(Logging, LevelFilters) {
+  using namespace h3dfact::util;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Only checks that the calls are safe; output goes to stderr.
+  log_debug("dropped");
+  log_warn("kept");
+  set_log_level(LogLevel::kInfo);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  auto a = h3dfact::util::splitmix64(s);
+  auto b = h3dfact::util::splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(h3dfact::util::splitmix64(s2), a);
+}
+
+}  // namespace
