@@ -5,6 +5,7 @@
 // and buffer occupancy across batch sizes, plus the buffer-capacity limit.
 
 #include <iostream>
+#include <string>
 
 #include "arch/scheduler.hpp"
 #include "util/cli.hpp"

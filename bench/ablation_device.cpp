@@ -5,8 +5,13 @@
 // statistics (larger spread + conductance drift) and compare accuracy /
 // convergence at a problem size where the deterministic baseline fails.
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "device/pcm_cell.hpp"

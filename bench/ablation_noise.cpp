@@ -5,7 +5,10 @@
 // destroys the similarity signal.
 
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "bench_common.hpp"
 

@@ -7,7 +7,9 @@
 //   --seed=N     master seed
 //   --full       lift the scaled-down defaults to paper-scale settings
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "resonator/resonator.hpp"

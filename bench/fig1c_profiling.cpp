@@ -5,6 +5,7 @@
 //      which motivates the stochastic factorizer.
 
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 
 #include "bench_common.hpp"

@@ -4,6 +4,7 @@
 // (limit cycles / spurious fixed points), then repeats with the stochastic
 // H3DFact similarity path where the dynamics cannot lock into a cycle.
 
+#include <cstdint>
 #include <iostream>
 
 #include "bench_common.hpp"

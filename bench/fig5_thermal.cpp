@@ -3,7 +3,9 @@
 // stack and the 2D baseline, an ASCII thermal map of the hottest die, and
 // the RRAM retention check (Sec. V-C).
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "arch/design.hpp"
 #include "ppa/floorplan.hpp"

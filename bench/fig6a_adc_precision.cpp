@@ -3,7 +3,10 @@
 // introduces quantization stochasticity that prevents the factorizer from
 // getting stuck, so it converges in fewer iterations at equal accuracy.
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "bench_common.hpp"
 

@@ -5,7 +5,11 @@
 // gain, and reports one-shot accuracy and the accuracy-vs-iteration curve
 // through the full device-level CIM path.
 
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "cim/engine.hpp"

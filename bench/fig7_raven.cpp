@@ -3,6 +3,7 @@
 // H3DFact disentangles the attributes (type, size, color, position).
 // Reports per-attribute and overall attribute-estimation accuracy.
 
+#include <cstdint>
 #include <iostream>
 
 #include "perception/pipeline.hpp"

@@ -4,6 +4,8 @@
 // track kernel regressions.
 
 #include <benchmark/benchmark.h>
+#include <cstdint>
+#include <vector>
 
 #include "cim/crossbar.hpp"
 #include "hdc/codebook.hpp"

@@ -8,7 +8,10 @@
 // cell (F=4, M=512) averages 2.8M iterations per trial on the authors'
 // setup and is reported as modelled-only here unless --full is given.
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"

@@ -4,7 +4,9 @@
 // [15] comparison of Sec. V-B. Accuracy cells are *measured* by running the
 // factorizer with/without the stochastic similarity path.
 
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ppa/report.hpp"

@@ -16,6 +16,8 @@
 
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "hdc/item_memory.hpp"
 #include "hdc/vsa.hpp"

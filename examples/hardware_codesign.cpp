@@ -6,8 +6,10 @@
 //
 //   $ ./hardware_codesign [--batch=8]
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "arch/chip.hpp"
 #include "ppa/floorplan.hpp"

@@ -9,6 +9,7 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "resonator/resonator.hpp"
 #include "util/cli.hpp"

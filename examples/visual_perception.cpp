@@ -5,6 +5,7 @@
 //
 //   $ ./visual_perception [--scenes=50] [--cosine=0.6]
 
+#include <algorithm>
 #include <iostream>
 
 #include "perception/pipeline.hpp"

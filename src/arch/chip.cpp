@@ -1,7 +1,9 @@
 #include "arch/chip.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::arch {
 

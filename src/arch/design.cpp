@@ -1,6 +1,8 @@
 #include "arch/design.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "arch/interconnect.hpp"
 

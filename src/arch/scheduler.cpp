@@ -1,6 +1,7 @@
 #include "arch/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace h3dfact::arch {

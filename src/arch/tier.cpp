@@ -1,5 +1,6 @@
 #include "arch/tier.hpp"
 
+#include <stdexcept>
 namespace h3dfact::arch {
 
 const char* tier_role_name(TierRole role) {

@@ -1,7 +1,9 @@
 #include "cim/crossbar.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::cim {
 

@@ -1,6 +1,8 @@
 #include "cim/engine.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::cim {
 

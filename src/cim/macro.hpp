@@ -12,6 +12,7 @@
 //     M-row array in the transpose orientation; the D output columns are
 //     compared against VTGT = 0 to produce the 1-bit step-IV data of Fig. 3.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -1,5 +1,6 @@
 #include "cim/xnor_unit.hpp"
 
+#include <cstdint>
 namespace h3dfact::cim {
 
 hdc::BipolarVector XnorUnbindUnit::unbind(const hdc::BipolarVector& a,

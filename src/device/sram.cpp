@@ -1,5 +1,6 @@
 #include "device/sram.hpp"
 
+#include <stdexcept>
 namespace h3dfact::device {
 
 SramBuffer::SramBuffer(const SramParams& params) : params_(params) {

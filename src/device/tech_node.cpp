@@ -1,6 +1,7 @@
 #include "device/tech_node.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace h3dfact::device {
 

@@ -1,8 +1,12 @@
 #include "hdc/codebook.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace h3dfact::hdc {
 

@@ -1,6 +1,8 @@
 #include "hdc/encoding.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace h3dfact::hdc {
 

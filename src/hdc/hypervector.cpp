@@ -1,7 +1,9 @@
 #include "hdc/hypervector.hpp"
 
 #include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::hdc {
 

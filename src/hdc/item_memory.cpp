@@ -1,7 +1,10 @@
 #include "hdc/item_memory.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace h3dfact::hdc {
 

@@ -1,6 +1,8 @@
 #include "perception/pipeline.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::perception {
 

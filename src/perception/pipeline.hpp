@@ -2,6 +2,7 @@
 // End-to-end holographic perception pipeline (Fig. 7): neural-frontend
 // surrogate → H3DFact stochastic factorizer → per-attribute predictions.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -1,5 +1,6 @@
 #include "perception/raven.hpp"
 
+#include <vector>
 namespace h3dfact::perception {
 
 std::vector<hdc::AttributeSpec> raven_schema() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
+#include <vector>
 
 namespace h3dfact::ppa {
 

@@ -1,6 +1,7 @@
 #include "ppa/report.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::ppa {
 

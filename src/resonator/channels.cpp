@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace h3dfact::resonator {
 

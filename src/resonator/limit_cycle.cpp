@@ -1,5 +1,7 @@
 #include "resonator/limit_cycle.hpp"
 
+#include <cstdint>
+#include <optional>
 namespace h3dfact::resonator {
 
 std::optional<CycleInfo> LimitCycleDetector::observe(std::uint64_t state_hash,

@@ -1,6 +1,8 @@
 #include "resonator/problem.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::resonator {
 

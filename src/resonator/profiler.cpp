@@ -1,5 +1,6 @@
 #include "resonator/profiler.hpp"
 
+#include <cstdint>
 namespace h3dfact::resonator {
 
 const char* phase_name(Phase p) {

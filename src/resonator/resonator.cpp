@@ -1,7 +1,10 @@
 #include "resonator/resonator.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace h3dfact::resonator {
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 namespace h3dfact::resonator {
 
@@ -67,9 +69,7 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
   std::mutex merge_mutex;
   std::atomic<std::size_t> next_trial{0};
 
-  auto worker = [&](unsigned worker_id) {
-    util::Rng seeder(config.seed);
-    (void)worker_id;
+  auto worker = [&]() {
     // Each network instance is immutable/shared-safe; build once per thread.
     ResonatorNetwork net = factory(set);
     ResonatorOptions opts = net.options();
@@ -138,11 +138,11 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
   };
 
   if (nthreads <= 1) {
-    worker(0);
+    worker();
   } else {
     std::vector<std::thread> pool;
     pool.reserve(nthreads);
-    for (unsigned i = 0; i < nthreads; ++i) pool.emplace_back(worker, i);
+    for (unsigned i = 0; i < nthreads; ++i) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
   return total;

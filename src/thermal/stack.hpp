@@ -6,6 +6,7 @@
 #include "ppa/floorplan.hpp"
 #include "thermal/grid.hpp"
 
+#include <vector>
 namespace h3dfact::thermal {
 
 /// Fig. 5 stack parameters.

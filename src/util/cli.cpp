@@ -1,7 +1,9 @@
 #include "util/cli.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace h3dfact::util {
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 namespace h3dfact::util {
 

@@ -3,8 +3,9 @@
 // facade.
 
 #include <gtest/gtest.h>
-
 #include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "arch/chip.hpp"
 #include "arch/design.hpp"

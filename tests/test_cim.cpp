@@ -2,10 +2,13 @@
 // WL gating, macro similarity/projection against exact kernels, XNOR unit,
 // and the hardware-in-the-loop MVM engine.
 
-#include <gtest/gtest.h>
-
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "cim/crossbar.hpp"
 #include "cim/engine.hpp"

@@ -1,9 +1,10 @@
 // Tests for the device models: RRAM cell statistics, testchip noise tables,
 // SAR ADC transfer function, sense path, SRAM buffer accounting.
 
-#include <gtest/gtest.h>
-
+#include <algorithm>
 #include <cmath>
+#include <gtest/gtest.h>
+#include <stdexcept>
 
 #include "device/adc.hpp"
 #include "device/pcm_cell.hpp"

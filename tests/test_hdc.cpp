@@ -1,9 +1,11 @@
 // Unit + property tests for the hypervector algebra, codebooks, item memory
 // and scene encoding.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "hdc/codebook.hpp"
 #include "hdc/encoding.hpp"
@@ -210,7 +212,9 @@ TEST(Codebook, SimilarityOfMemberIsDim) {
   auto sims = cb.similarity(cb.vector(5));
   EXPECT_EQ(sims[5], 512);
   for (std::size_t m = 0; m < 16; ++m) {
-    if (m != 5) EXPECT_LT(std::abs(sims[m]), 150);
+    if (m != 5) {
+      EXPECT_LT(std::abs(sims[m]), 150);
+    }
   }
 }
 
@@ -492,6 +496,100 @@ TEST(Vsa, BundleCapacityDegradesGracefully) {
     bool found = false;
     for (const auto& r : top) found = found || (r.index == i);
     EXPECT_TRUE(found) << "member " << i << " lost in the bundle";
+  }
+}
+
+// Property tests mirroring the HyperStream item-memory exemplar: seeded
+// generation is deterministic across instances, independent seeds give
+// quasi-orthogonal (~0.5 normalized Hamming) codebooks, and binding is
+// exactly invertible.
+
+TEST(Properties, IndependentSeedCodebooksNearHalfHamming) {
+  const std::size_t d = 2048;
+  Rng rng_a(0x1111111111111111ULL);
+  Rng rng_b(0x2222222222222222ULL);
+  Codebook a(d, 8, rng_a);
+  Codebook b(d, 8, rng_b);
+  for (std::size_t m = 0; m < 8; ++m) {
+    const double frac = a.vector(m).hamming(b.vector(m));
+    EXPECT_GT(frac, 0.40) << "codebook entry " << m;
+    EXPECT_LT(frac, 0.60) << "codebook entry " << m;
+  }
+}
+
+TEST(Properties, SameSeedCodebooksBitIdentical) {
+  Rng rng_a(0x9bdcafe123456789ULL);
+  Rng rng_b(0x9bdcafe123456789ULL);
+  Codebook a(130, 6, rng_a);  // dim not a multiple of 64
+  Codebook b(130, 6, rng_b);
+  for (std::size_t m = 0; m < 6; ++m) {
+    EXPECT_TRUE(a.vector(m) == b.vector(m)) << "codebook entry " << m;
+    EXPECT_EQ(a.vector(m).hash(), b.vector(m).hash());
+  }
+}
+
+TEST(Properties, RandomVectorBitDensityNearHalf) {
+  Rng rng(0xfeedbeefULL);
+  const std::size_t d = 256;
+  const int n = 200;
+  double avg_plus = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto v = BipolarVector::random(d, rng);
+    int plus = 0;
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      if (v.get(bit) > 0) ++plus;
+    }
+    avg_plus += static_cast<double>(plus);
+  }
+  const double frac = avg_plus / static_cast<double>(n) / static_cast<double>(d);
+  EXPECT_GT(frac, 0.40) << frac;
+  EXPECT_LT(frac, 0.60) << frac;
+}
+
+TEST(Properties, BindUnbindRoundTripIsExactIdentity) {
+  // Unbinding every other factor from a full product recovers each factor
+  // bit-exactly, including at dimensions with a masked tail word.
+  for (std::size_t d : {63u, 64u, 130u, 1024u}) {
+    Rng rng(300 + d);
+    auto a = BipolarVector::random(d, rng);
+    auto b = BipolarVector::random(d, rng);
+    auto c = BipolarVector::random(d, rng);
+    auto s = h3dfact::hdc::bind_all({a, b, c});
+    EXPECT_TRUE(s.bind(b).bind(c) == a) << "dim " << d;
+    EXPECT_TRUE(s.bind(a).bind(c) == b) << "dim " << d;
+    EXPECT_TRUE(s.bind(a).bind(b) == c) << "dim " << d;
+  }
+}
+
+TEST(Properties, ItemMemoryDeterministicAcrossInstances) {
+  // Two item memories populated from identically seeded RNGs are
+  // indistinguishable: same vectors, same cleanup answers.
+  const std::size_t d = 512;
+  ItemMemory mem_a(d);
+  ItemMemory mem_b(d);
+  {
+    Rng rng(0x1234abcd9876fedcULL);
+    for (int i = 0; i < 20; ++i) {
+      mem_a.add("item" + std::to_string(i), BipolarVector::random(d, rng));
+    }
+  }
+  {
+    Rng rng(0x1234abcd9876fedcULL);
+    for (int i = 0; i < 20; ++i) {
+      mem_b.add("item" + std::to_string(i), BipolarVector::random(d, rng));
+    }
+  }
+  Rng query_rng(7);
+  for (int q = 0; q < 5; ++q) {
+    auto noisy = mem_a.vector(static_cast<std::size_t>(q * 3)).with_flips(0.2, query_rng);
+    auto ra = mem_a.cleanup(noisy);
+    auto rb = mem_b.cleanup(noisy);
+    EXPECT_EQ(ra.index, rb.index);
+    EXPECT_EQ(ra.label, rb.label);
+    EXPECT_EQ(ra.dot, rb.dot);
+  }
+  for (std::size_t i = 0; i < mem_a.size(); ++i) {
+    EXPECT_TRUE(mem_a.vector(i) == mem_b.vector(i)) << "item " << i;
   }
 }
 

@@ -2,9 +2,10 @@
 // end-to-end — capacity shape (Table II), stochastic-vs-deterministic
 // advantage, chip + thermal loop, profiler shares, scheduler/PPA consistency.
 
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <memory>
+#include <vector>
 
 #include "arch/chip.hpp"
 #include "cim/engine.hpp"

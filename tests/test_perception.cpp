@@ -1,9 +1,10 @@
 // Tests for the perception stack: RAVEN schema/dataset, frontend surrogate
 // statistics, and the end-to-end disentangling pipeline (Fig. 7).
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
 
 #include "perception/frontend.hpp"
 #include "perception/pipeline.hpp"

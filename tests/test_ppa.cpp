@@ -1,9 +1,10 @@
 // Tests for the PPA models: area breakdowns against Table III, timing and
 // frequency derate, energy efficiency ordering, floorplans and power maps.
 
-#include <gtest/gtest.h>
-
+#include <algorithm>
 #include <cmath>
+#include <gtest/gtest.h>
+#include <stdexcept>
 
 #include "ppa/area_model.hpp"
 #include "ppa/energy_model.hpp"

@@ -2,10 +2,12 @@
 // baseline on small problems, stochastic escape from limit cycles, trial
 // runner statistics, and profiling.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "resonator/channels.hpp"
 #include "resonator/limit_cycle.hpp"

@@ -1,9 +1,10 @@
 // Tests for the thermal solver: conservation/physics sanity on analytic
 // configurations, stack construction, and the Fig. 5 operating points.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
 
 #include "ppa/floorplan.hpp"
 #include "thermal/grid.hpp"

@@ -5,6 +5,7 @@
 #include "h3dfact.hpp"
 
 #include <gtest/gtest.h>
+#include <memory>
 
 namespace {
 

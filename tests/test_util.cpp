@@ -1,11 +1,14 @@
 // Unit tests for util: PRNG determinism and distribution sanity, streaming
 // statistics, table formatting, CLI parsing.
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/logging.hpp"
