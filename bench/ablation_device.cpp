@@ -64,10 +64,12 @@ int main(int argc, char** argv) {
     // shifts: fold the gain into an effective threshold.
     const double threshold = 1.5 / std::max(tech.gain, 1e-3);
     cfg.factory = [&, sigma_frac, threshold](
-                      std::shared_ptr<const hdc::CodebookSet> s) {
+                      std::shared_ptr<const hdc::CodebookSet> s,
+                      const resonator::TrialConfig& c) {
       resonator::ResonatorOptions opts;
-      opts.max_iterations = cap;
+      opts.max_iterations = c.max_iterations;
       opts.detect_limit_cycles = false;
+      opts.record_correct_trace = c.record_correct_trace;
       opts.channel =
           resonator::make_h3dfact_channel(dim, 4, sigma_frac, 4.0, threshold);
       return resonator::ResonatorNetwork(std::move(s), opts);

@@ -33,8 +33,9 @@ int main(int argc, char** argv) {
     cfg.trials = trials;
     cfg.max_iterations = cap;
     cfg.seed = seed;
-    cfg.factory = [&, sigma](std::shared_ptr<const hdc::CodebookSet> s) {
-      return resonator::make_h3dfact(std::move(s), cap, 4, sigma);
+    cfg.factory = [sigma](std::shared_ptr<const hdc::CodebookSet> s,
+                          const resonator::TrialConfig& c) {
+      return resonator::make_h3dfact(std::move(s), c, 4, sigma);
     };
     auto stats = resonator::run_trials(cfg);
     const double med = stats.median_iterations();
@@ -57,10 +58,12 @@ int main(int argc, char** argv) {
     cfg.trials = trials;
     cfg.max_iterations = cap;
     cfg.seed = seed + 7;
-    cfg.factory = [&, theta](std::shared_ptr<const hdc::CodebookSet> s) {
+    cfg.factory = [&, theta](std::shared_ptr<const hdc::CodebookSet> s,
+                             const resonator::TrialConfig& c) {
       resonator::ResonatorOptions opts;
-      opts.max_iterations = cap;
+      opts.max_iterations = c.max_iterations;
       opts.detect_limit_cycles = false;
+      opts.record_correct_trace = c.record_correct_trace;
       opts.channel = resonator::make_h3dfact_channel(dim, 4, 0.5, 4.0, theta);
       return resonator::ResonatorNetwork(std::move(s), opts);
     };

@@ -32,16 +32,18 @@ inline resonator::TrialStats run_cell(
   cfg.max_iterations = cap;
   cfg.seed = seed;
   if (stochastic) {
-    cfg.factory = [cap, adc_bits, sigma_frac](
-                      std::shared_ptr<const hdc::CodebookSet> s) {
-      return resonator::make_h3dfact(std::move(s), cap, adc_bits, sigma_frac);
+    cfg.factory = [adc_bits, sigma_frac](
+                      std::shared_ptr<const hdc::CodebookSet> s,
+                      const resonator::TrialConfig& c) {
+      return resonator::make_h3dfact(std::move(s), c, adc_bits, sigma_frac);
     };
   }
   return resonator::run_trials(cfg);
 }
 
 /// Format an iteration count with the paper's "Fail" convention: a cell
-/// fails when fewer than 99 % of trials converged within the cap.
+/// fails when fewer than 99 % of ALL trials converged within the cap
+/// (censor-aware quantile; see TrialStats::iterations_quantile).
 inline std::string iters_or_fail(const resonator::TrialStats& s) {
   const double q = s.iterations_quantile(0.99);
   if (q < 0) return "Fail";

@@ -29,10 +29,12 @@ int main(int argc, char** argv) {
     cfg.trials = trials;
     cfg.max_iterations = cap;
     cfg.seed = seed;
-    cfg.factory = [&, bits](std::shared_ptr<const hdc::CodebookSet> s) {
-      return resonator::make_h3dfact(std::move(s), cap, bits);
+    cfg.record_correct_trace = true;
+    cfg.factory = [bits](std::shared_ptr<const hdc::CodebookSet> s,
+                         const resonator::TrialConfig& c) {
+      return resonator::make_h3dfact(std::move(s), c, bits);
     };
-    return resonator::run_trials(cfg, /*record_traces=*/true);
+    return resonator::run_trials(cfg);
   };
 
   std::fprintf(stderr, "[fig6a] running 4-bit...\n");
@@ -42,7 +44,8 @@ int main(int argc, char** argv) {
 
   util::Table t("Fig. 6a -- Accuracy vs iteration: 4-bit (H3DFact) vs 8-bit ADC");
   t.set_header({"iteration", "4-bit acc %", "8-bit acc %"});
-  for (std::size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 30u, 50u, 80u, 120u, 200u, 300u}) {
+  // k = 0 is the pre-iteration accuracy (decode of the initial state).
+  for (std::size_t k : {0u, 1u, 2u, 5u, 10u, 15u, 20u, 30u, 50u, 80u, 120u, 200u, 300u}) {
     if (k > cap) break;
     t.add_row({util::Table::fmt_int(static_cast<long long>(k)),
                util::Table::fmt_pct(low.accuracy_at(k)),

@@ -68,18 +68,20 @@ int main(int argc, char** argv) {
     util::Rng trial(seed + 10 + i);
     auto p = gen.sample(trial);
     auto r = net.run(p, trial);
-    if (!r.correct_trace.empty() && r.correct_trace.front()) ++one_shot;
+    // correct_trace[k] is the decode after iteration k (k = 0 is the
+    // pre-iteration decode); "one-shot" is the first-iteration read.
+    if (r.correct_trace.size() > 1 && r.correct_trace[1]) ++one_shot;
     if (r.solved && p.is_correct(r.decoded)) ++solved;
     // First iteration from which the decode stays correct.
-    std::size_t first = r.correct_trace.size() + 1;
+    std::size_t first = r.correct_trace.size();
     for (std::size_t k = r.correct_trace.size(); k-- > 0;) {
       if (r.correct_trace[k]) {
-        first = k + 1;
+        first = k;
       } else {
         break;
       }
     }
-    const bool stays = first <= r.correct_trace.size() ||
+    const bool stays = first < r.correct_trace.size() ||
                        (r.solved && p.is_correct(r.decoded));
     if (stays) {
       for (std::size_t k = std::min(first, cap); k <= cap; ++k) ++correct_at[k];

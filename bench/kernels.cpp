@@ -1,21 +1,35 @@
 // google-benchmark microbenches of the hot kernels: packed binding, codebook
-// similarity (XOR+popcount), integer projection, sign activation, and the
-// device-level crossbar MVM. These quantify why MVMs dominate (Fig. 1c) and
-// track kernel regressions.
+// similarity (XOR+popcount), integer projection, sign activation, the
+// device-level crossbar MVM, and the batched-vs-per-call MVM paths of the
+// batched engine. These quantify why MVMs dominate (Fig. 1c), track kernel
+// regressions, and show the batched amortization (compare the *PerCall /
+// *Batch pairs at equal {M, B} arguments).
 
 #include <benchmark/benchmark.h>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cim/crossbar.hpp"
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
+#include "resonator/batched.hpp"
 #include "resonator/channels.hpp"
 #include "util/rng.hpp"
 
 using namespace h3dfact;
 
 namespace {
+
+std::vector<hdc::BipolarVector> random_queries(std::size_t dim, std::size_t n,
+                                               util::Rng& rng) {
+  std::vector<hdc::BipolarVector> us;
+  us.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    us.push_back(hdc::BipolarVector::random(dim, rng));
+  }
+  return us;
+}
 
 void BM_Bind(benchmark::State& state) {
   util::Rng rng(1);
@@ -56,6 +70,130 @@ void BM_Projection(benchmark::State& state) {
                           static_cast<std::int64_t>(m) * 1024);
 }
 BENCHMARK(BM_Projection)->Arg(16)->Arg(256)->Arg(512);
+
+// --- batched vs per-call MVM paths (args: {M, batch}) ---------------------
+
+void BM_SimilarityPerCall(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  hdc::Codebook cb(1024, m, rng);
+  auto us = random_queries(1024, batch, rng);
+  for (auto _ : state) {
+    for (const auto& u : us) benchmark::DoNotOptimize(cb.similarity(u));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * batch) * 1024);
+}
+BENCHMARK(BM_SimilarityPerCall)->Args({256, 16})->Args({512, 16});
+
+void BM_SimilarityBatch(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  hdc::Codebook cb(1024, m, rng);
+  auto us = random_queries(1024, batch, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.similarity_batch(us));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * batch) * 1024);
+}
+BENCHMARK(BM_SimilarityBatch)->Args({256, 16})->Args({512, 16});
+
+void BM_ProjectionPerCall(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  hdc::Codebook cb(1024, m, rng);
+  std::vector<std::vector<int>> items(batch, std::vector<int>(m));
+  for (auto& item : items) {
+    for (auto& c : item) c = static_cast<int>(rng.range(-7, 7));
+  }
+  for (auto _ : state) {
+    for (const auto& item : items) benchmark::DoNotOptimize(cb.project(item));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * batch) * 1024);
+}
+BENCHMARK(BM_ProjectionPerCall)->Args({256, 16})->Args({512, 16});
+
+void BM_ProjectionBatch(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  hdc::Codebook cb(1024, m, rng);
+  std::vector<std::vector<int>> items(batch, std::vector<int>(m));
+  for (auto& item : items) {
+    for (auto& c : item) c = static_cast<int>(rng.range(-7, 7));
+  }
+  const hdc::CoeffBlock coeffs = hdc::CoeffBlock::from_items(items);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.project_batch(coeffs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * batch) * 1024);
+}
+BENCHMARK(BM_ProjectionBatch)->Args({256, 16})->Args({512, 16});
+
+// End-to-end: B concurrent factorizations through one exact engine — either
+// sequentially on the default per-call (asynchronous) path, i.e. the
+// pre-batching pipeline, or through the BatchedFactorizer. A success
+// threshold above cosine 1 pins every run to exactly `cap` iterations, and
+// random init keeps setup cost off the measurement, so both paths execute
+// the same number of MVMs and the difference is the MVM path itself.
+resonator::ResonatorOptions fixed_work_options(std::size_t cap,
+                                               resonator::UpdateMode mode) {
+  resonator::ResonatorOptions opts;
+  opts.update = mode;
+  opts.max_iterations = cap;
+  opts.success_threshold = 2.0;
+  opts.detect_limit_cycles = false;
+  opts.random_init = true;
+  return opts;
+}
+
+void BM_FactorizeSequential(benchmark::State& state) {
+  util::Rng rng(9);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  auto set = std::make_shared<hdc::CodebookSet>(1024, 3, m, rng);
+  resonator::ProblemGenerator gen(set);
+  std::vector<resonator::FactorizationProblem> problems;
+  for (std::size_t i = 0; i < batch; ++i) problems.push_back(gen.sample(rng));
+  resonator::ResonatorNetwork net(
+      set, fixed_work_options(5, resonator::UpdateMode::kAsynchronous));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      util::Rng run_rng(100 + i);
+      benchmark::DoNotOptimize(net.run(problems[i], run_rng));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_FactorizeSequential)->Args({256, 16});
+
+void BM_FactorizeBatched(benchmark::State& state) {
+  util::Rng rng(9);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  auto set = std::make_shared<hdc::CodebookSet>(1024, 3, m, rng);
+  resonator::ProblemGenerator gen(set);
+  std::vector<resonator::FactorizationProblem> problems;
+  for (std::size_t i = 0; i < batch; ++i) problems.push_back(gen.sample(rng));
+  resonator::BatchedFactorizer factorizer(
+      set, fixed_work_options(5, resonator::UpdateMode::kSynchronous));
+  for (auto _ : state) {
+    std::vector<util::Rng> rngs;
+    for (std::size_t i = 0; i < batch; ++i) rngs.emplace_back(100 + i);
+    util::Rng device_rng(1);
+    benchmark::DoNotOptimize(factorizer.run(problems, rngs, device_rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_FactorizeBatched)->Args({256, 16});
 
 void BM_SignActivation(benchmark::State& state) {
   util::Rng rng(4);

@@ -110,10 +110,12 @@ int main(int argc, char** argv) {
     cfg.trials = r.h3d_trials;
     cfg.max_iterations = r.h3d_cap;
     cfg.seed = seed + 1;
-    cfg.factory = [&](std::shared_ptr<const hdc::CodebookSet> s) {
+    cfg.factory = [&](std::shared_ptr<const hdc::CodebookSet> s,
+                      const resonator::TrialConfig& c) {
       resonator::ResonatorOptions opts;
-      opts.max_iterations = r.h3d_cap;
+      opts.max_iterations = c.max_iterations;
       opts.detect_limit_cycles = false;
+      opts.record_correct_trace = c.record_correct_trace;
       opts.channel =
           resonator::make_h3dfact_channel(dim, 4, r.sigma, 4.0, r.theta);
       return resonator::ResonatorNetwork(std::move(s), opts);

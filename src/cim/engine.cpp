@@ -30,6 +30,18 @@ std::vector<int> CimMvmEngine::project(std::size_t factor,
   return macros_.at(factor).project(coeffs, rng);
 }
 
+hdc::CoeffBlock CimMvmEngine::similarity_batch(
+    std::size_t factor, std::span<const hdc::BipolarVector> us,
+    util::Rng& rng) {
+  return macros_.at(factor).similarity_batch(us, rng);
+}
+
+hdc::CoeffBlock CimMvmEngine::project_batch(std::size_t factor,
+                                            const hdc::CoeffBlock& coeffs,
+                                            util::Rng& rng) {
+  return macros_.at(factor).project_batch(coeffs, rng);
+}
+
 void CimMvmEngine::set_temperature(double celsius) {
   for (auto& m : macros_) m.set_temperature(celsius);
 }

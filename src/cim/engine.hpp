@@ -27,6 +27,15 @@ class CimMvmEngine final : public resonator::MvmEngine {
                                          const std::vector<int>& coeffs,
                                          util::Rng& rng) override;
 
+  /// Batched kernels: one pass over the factor's macro per batch, with every
+  /// analog read drawing its own device noise (see CimMacro).
+  [[nodiscard]] hdc::CoeffBlock similarity_batch(
+      std::size_t factor, std::span<const hdc::BipolarVector> us,
+      util::Rng& rng) override;
+  [[nodiscard]] hdc::CoeffBlock project_batch(std::size_t factor,
+                                              const hdc::CoeffBlock& coeffs,
+                                              util::Rng& rng) override;
+
   [[nodiscard]] std::size_t factors() const { return macros_.size(); }
   [[nodiscard]] CimMacro& macro(std::size_t f) { return macros_[f]; }
   [[nodiscard]] const CimMacro& macro(std::size_t f) const { return macros_[f]; }

@@ -75,55 +75,100 @@ CimMacro::CimMacro(const hdc::Codebook& codebook, const MacroConfig& config,
   }
 }
 
+// The per-call kernels ARE a batch of one: the batched passes iterate
+// (subarray, col-group, batch-item) and (col-group, row-chunk, batch-item),
+// so a single item replays exactly the per-call order of analog reads, ADC
+// conversions and sense draws — the noise contract holds by construction.
 std::vector<int> CimMacro::similarity(const hdc::BipolarVector& u,
                                       util::Rng& rng) const {
-  if (u.dim() != dim_) throw std::invalid_argument("similarity input dim mismatch");
+  return similarity_batch(std::span<const hdc::BipolarVector>(&u, 1), rng)
+      .item(0);
+}
+
+std::vector<int> CimMacro::project(const std::vector<int>& coeffs,
+                                   util::Rng& rng) const {
+  return project_batch(hdc::CoeffBlock::from_items({coeffs}), rng).item(0);
+}
+
+hdc::CoeffBlock CimMacro::similarity_batch(
+    std::span<const hdc::BipolarVector> us, util::Rng& rng) const {
+  for (const auto& u : us) {
+    if (u.dim() != dim_) {
+      throw std::invalid_argument("similarity input dim mismatch");
+    }
+  }
+  const std::size_t kB = us.size();
   const std::size_t d = config_.rows;
   const std::size_t col_groups = div_up(m_, d);
-  const auto u_vals = u.to_i8();
+  hdc::CoeffBlock a(m_, kB);
 
-  std::vector<int> a(m_, 0);
+  std::vector<std::vector<std::int8_t>> u_vals;
+  u_vals.reserve(kB);
+  for (const auto& u : us) u_vals.push_back(u.to_i8());
+
   for (std::size_t r = 0; r < config_.subarrays; ++r) {
-    std::vector<std::int8_t> slice(u_vals.begin() + static_cast<std::ptrdiff_t>(r * d),
-                                   u_vals.begin() + static_cast<std::ptrdiff_t>((r + 1) * d));
+    std::vector<std::vector<std::int8_t>> slices;
+    slices.reserve(kB);
+    for (std::size_t b = 0; b < kB; ++b) {
+      slices.emplace_back(
+          u_vals[b].begin() + static_cast<std::ptrdiff_t>(r * d),
+          u_vals[b].begin() + static_cast<std::ptrdiff_t>((r + 1) * d));
+    }
     for (std::size_t g = 0; g < col_groups; ++g) {
       const auto& xb = sim_slices_[r * col_groups + g];
-      auto currents = xb.mvm_bipolar(slice, rng, temperature_C_);
-      for (std::size_t j = 0; j < currents.size(); ++j) {
-        const int code = slice_adcs_[r].convert(currents[j] * vtgt_scale_);
-        a[g * d + j] += code;  // digital slice-code accumulation (tier-1)
-        ++adc_conversions_;
+      for (std::size_t b = 0; b < kB; ++b) {
+        auto currents = xb.mvm_bipolar(slices[b], rng, temperature_C_);
+        for (std::size_t j = 0; j < currents.size(); ++j) {
+          const int code = slice_adcs_[r].convert(currents[j] * vtgt_scale_);
+          a.at(g * d + j, b) += code;
+          ++adc_conversions_;
+        }
       }
     }
   }
   return a;
 }
 
-std::vector<int> CimMacro::project(const std::vector<int>& coeffs,
-                                   util::Rng& rng) const {
-  if (coeffs.size() != m_) throw std::invalid_argument("projection coeff mismatch");
+hdc::CoeffBlock CimMacro::project_batch(const hdc::CoeffBlock& coeffs,
+                                        util::Rng& rng) const {
+  if (coeffs.size != m_) {
+    throw std::invalid_argument("projection coeff mismatch");
+  }
+  const std::size_t kB = coeffs.batch;
   const std::size_t d = config_.rows;
   const std::size_t row_chunks = div_up(m_, d);
+  hdc::CoeffBlock y(dim_, kB);
 
-  int max_abs = 1;
-  for (int c : coeffs) max_abs = std::max(max_abs, std::abs(c));
-  const int coeff_bits = static_cast<int>(std::ceil(std::log2(max_abs + 1))) + 1;
+  std::vector<std::vector<int>> items(kB);
+  std::vector<int> coeff_bits(kB, 1);
+  for (std::size_t b = 0; b < kB; ++b) {
+    items[b] = coeffs.item(b);
+    int max_abs = 1;
+    for (int c : items[b]) max_abs = std::max(max_abs, std::abs(c));
+    coeff_bits[b] =
+        static_cast<int>(std::ceil(std::log2(max_abs + 1))) + 1;
+  }
 
-  std::vector<int> y(dim_, 0);
   for (std::size_t g = 0; g < config_.subarrays; ++g) {
-    std::vector<double> col_current(d, 0.0);
+    std::vector<std::vector<double>> col_current(
+        kB, std::vector<double>(d, 0.0));
     for (std::size_t c = 0; c < row_chunks; ++c) {
       const auto& xb = proj_slices_[c * config_.subarrays + g];
-      std::vector<int> chunk(coeffs.begin() + static_cast<std::ptrdiff_t>(c * d),
-                             coeffs.begin() + static_cast<std::ptrdiff_t>(c * d + xb.rows()));
-      auto currents = xb.mvm_coeffs(chunk, coeff_bits, rng, temperature_C_);
-      for (std::size_t j = 0; j < d; ++j) col_current[j] += currents[j];
+      for (std::size_t b = 0; b < kB; ++b) {
+        std::vector<int> chunk(
+            items[b].begin() + static_cast<std::ptrdiff_t>(c * d),
+            items[b].begin() + static_cast<std::ptrdiff_t>(c * d + xb.rows()));
+        auto currents = xb.mvm_coeffs(chunk, coeff_bits[b], rng, temperature_C_);
+        for (std::size_t j = 0; j < d; ++j) col_current[b][j] += currents[j];
+      }
     }
     // Comparator against VTGT=0 produces the 1-bit step-IV outputs. The
     // sense path's headroom clipping does not affect the sign.
-    for (std::size_t j = 0; j < d; ++j) {
-      const double v = sense_.sense_V(col_current[j]);
-      y[g * d + j] = v > 0.0 ? 1 : v < 0.0 ? -1 : (rng.bipolar());
+    for (std::size_t b = 0; b < kB; ++b) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double v = sense_.sense_V(col_current[b][j]);
+        y.at(g * d + j, b) = v > 0.0 ? 1 : v < 0.0 ? -1 : rng.bipolar();
+      }
     }
   }
   return y;

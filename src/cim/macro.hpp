@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cim/crossbar.hpp"
@@ -57,6 +58,19 @@ class CimMacro {
   /// Noisy projection; returns ±1 per output dimension (comparator output).
   [[nodiscard]] std::vector<int> project(const std::vector<int>& coeffs,
                                          util::Rng& rng) const;
+
+  /// Batched similarity read-out: one pass over the macro's subarray slices
+  /// services the whole batch (each slice's word lines are re-driven per
+  /// query while the slice stays selected). Every (slice, query) analog read
+  /// draws its own device noise, so per-call stochasticity is preserved; a
+  /// batch of one replays exactly the per-call draw sequence. M×B block out.
+  [[nodiscard]] hdc::CoeffBlock similarity_batch(
+      std::span<const hdc::BipolarVector> us, util::Rng& rng) const;
+
+  /// Batched projection over an M×B SoA coefficient block; D×B ±1 block out.
+  /// Same single-macro-pass schedule and noise contract as similarity_batch.
+  [[nodiscard]] hdc::CoeffBlock project_batch(const hdc::CoeffBlock& coeffs,
+                                              util::Rng& rng) const;
 
   /// Set the operating temperature seen by the RRAM arrays (thermal model).
   void set_temperature(double celsius) { temperature_C_ = celsius; }

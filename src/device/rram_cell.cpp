@@ -9,23 +9,23 @@ RramParams default_rram_40nm() { return RramParams{}; }
 
 void RramCell::program(bool on, util::Rng& rng) {
   on_ = on;
-  const double mean = on ? params_->g_on_uS : params_->g_off_uS;
+  const double mean = on ? params_.g_on_uS : params_.g_off_uS;
   // Lognormal spread around the target level; sigma in log-domain so the
   // level stays positive. E[G] is kept at `mean` by the -sigma^2/2 shift.
-  const double s = params_->prog_sigma;
+  const double s = params_.prog_sigma;
   g_uS_ = mean * rng.lognormal(-0.5 * s * s, s);
-  write_energy_pJ_ += on ? params_->set_energy_pJ : params_->reset_energy_pJ;
+  write_energy_pJ_ += on ? params_.set_energy_pJ : params_.reset_energy_pJ;
 }
 
 double RramCell::read_uS(util::Rng& rng, double temperature_C) const {
-  const double retention = retention_factor(*params_, temperature_C);
+  const double retention = retention_factor(params_, temperature_C);
   const double g = on_ ? g_uS_ * retention : g_uS_;
-  const double sigma = params_->read_noise_frac * params_->g_on_uS;
+  const double sigma = params_.read_noise_frac * params_.g_on_uS;
   return std::max(0.0, g + rng.gaussian(0.0, sigma));
 }
 
 double RramCell::read_current_uA(util::Rng& rng, double temperature_C) const {
-  return read_uS(rng, temperature_C) * params_->v_read;
+  return read_uS(rng, temperature_C) * params_.v_read;
 }
 
 double RramCell::retention_factor(const RramParams& p, double temperature_C) {

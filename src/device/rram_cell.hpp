@@ -35,7 +35,9 @@ RramParams default_rram_40nm();
 /// One binary RRAM cell.
 class RramCell {
  public:
-  explicit RramCell(const RramParams& params) : params_(&params) {}
+  // Params are stored by value: cells must stay valid past any temporary
+  // they were configured from (caught by ASan as a stack-use-after-scope).
+  explicit RramCell(const RramParams& params) : params_(params) {}
 
   /// Program to the low-resistance (on) or high-resistance (off) state.
   /// Draws a device-specific level from the programming distribution and
@@ -65,7 +67,7 @@ class RramCell {
                                                double temperature_C);
 
  private:
-  const RramParams* params_;
+  RramParams params_;
   bool on_ = false;
   double g_uS_ = 0.0;
   double write_energy_pJ_ = 0.0;

@@ -24,6 +24,7 @@
 #include "hdc/item_memory.hpp"
 #include "hdc/vsa.hpp"
 
+#include "resonator/batched.hpp"
 #include "resonator/channels.hpp"
 #include "resonator/limit_cycle.hpp"
 #include "resonator/problem.hpp"

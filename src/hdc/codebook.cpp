@@ -8,7 +8,115 @@
 #include <string>
 #include <vector>
 
+// The batched kernels runtime-dispatch onto AVX2 where the CPU supports it;
+// the build itself stays at the baseline ISA so the binaries remain portable.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define H3DFACT_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace h3dfact::hdc {
+
+namespace {
+
+#if defined(H3DFACT_X86_DISPATCH)
+
+bool cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+// popcount(a XOR b) over nw words via the nibble-LUT (Mula) algorithm:
+// 32 bytes per step, byte counts reduced with SAD against zero.
+__attribute__((target("avx2"))) long long xor_popcount_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t nw) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i x = _mm256_xor_si256(va, vb);
+    const __m256i lo = _mm256_and_si256(x, low);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(x, 4), low);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  long long total =
+      static_cast<long long>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; w < nw; ++w) total += std::popcount(a[w] ^ b[w]);
+  return total;
+}
+
+// y[0..n) += a * row[0..n) with ±1 int8 rows widened to i32.
+__attribute__((target("avx2"))) void axpy_row_avx2(int a,
+                                                   const std::int8_t* row,
+                                                   int* y, std::size_t n) {
+  const __m256i va = _mm256_set1_epi32(a);
+  std::size_t d = 0;
+  for (; d + 8 <= n; d += 8) {
+    const __m128i r8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + d));
+    const __m256i r32 = _mm256_cvtepi8_epi32(r8);
+    __m256i yv = _mm256_loadu_si256(reinterpret_cast<__m256i*>(y + d));
+    yv = _mm256_add_epi32(yv, _mm256_mullo_epi32(va, r32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + d), yv);
+  }
+  for (; d < n; ++d) y[d] += a * row[d];
+}
+
+#endif  // H3DFACT_X86_DISPATCH
+
+long long xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t nw) {
+#if defined(H3DFACT_X86_DISPATCH)
+  if (cpu_has_avx2()) return xor_popcount_avx2(a, b, nw);
+#endif
+  long long disagree = 0;
+  for (std::size_t w = 0; w < nw; ++w) disagree += std::popcount(a[w] ^ b[w]);
+  return disagree;
+}
+
+void axpy_row(int a, const std::int8_t* row, int* y, std::size_t n) {
+#if defined(H3DFACT_X86_DISPATCH)
+  if (cpu_has_avx2()) {
+    axpy_row_avx2(a, row, y, n);
+    return;
+  }
+#endif
+  for (std::size_t d = 0; d < n; ++d) y[d] += a * row[d];
+}
+
+}  // namespace
+
+std::vector<int> CoeffBlock::item(std::size_t b) const {
+  std::vector<int> out(size);
+  for (std::size_t i = 0; i < size; ++i) out[i] = data[i * batch + b];
+  return out;
+}
+
+void CoeffBlock::set_item(std::size_t b, const std::vector<int>& values) {
+  if (values.size() != size) {
+    throw std::invalid_argument("CoeffBlock item length mismatch");
+  }
+  for (std::size_t i = 0; i < size; ++i) data[i * batch + b] = values[i];
+}
+
+CoeffBlock CoeffBlock::from_items(const std::vector<std::vector<int>>& items) {
+  CoeffBlock block;
+  if (items.empty()) return block;
+  block = CoeffBlock(items.front().size(), items.size());
+  for (std::size_t b = 0; b < items.size(); ++b) block.set_item(b, items[b]);
+  return block;
+}
 
 Codebook::Codebook(std::size_t dim, std::size_t size, util::Rng& rng,
                    std::string name)
@@ -64,6 +172,60 @@ std::vector<int> Codebook::project(const std::vector<int>& coeffs) const {
     const std::int8_t* row = dense_.data() + m * dim_;
     int* out = y.data();
     for (std::size_t d = 0; d < dim_; ++d) out[d] += a * row[d];
+  }
+  return y;
+}
+
+CoeffBlock Codebook::similarity_batch(std::span<const BipolarVector> us) const {
+  CoeffBlock a(vectors_.size(), us.size());
+  for (const auto& u : us) {
+    if (u.dim() != dim_) {
+      throw std::invalid_argument("dim mismatch in similarity_batch");
+    }
+  }
+  const std::size_t kB = us.size();
+  const std::size_t kM = vectors_.size();
+  // A tile of codebook rows stays L1-hot while every query of the batch is
+  // scored against it; the per-call path re-streams the whole codebook once
+  // per query instead.
+  constexpr std::size_t kRowTile = 8;
+  for (std::size_t m0 = 0; m0 < kM; m0 += kRowTile) {
+    const std::size_t m1 = std::min(m0 + kRowTile, kM);
+    for (std::size_t b = 0; b < kB; ++b) {
+      const std::uint64_t* uw = us[b].data();
+      const std::size_t nw = us[b].words();
+      for (std::size_t m = m0; m < m1; ++m) {
+        const long long disagree = xor_popcount(uw, vectors_[m].data(), nw);
+        a.at(m, b) =
+            static_cast<int>(static_cast<long long>(dim_) - 2 * disagree);
+      }
+    }
+  }
+  return a;
+}
+
+CoeffBlock Codebook::project_batch(const CoeffBlock& coeffs) const {
+  if (coeffs.size != vectors_.size()) {
+    throw std::invalid_argument("coefficient count mismatch in project_batch");
+  }
+  const std::size_t kB = coeffs.batch;
+  CoeffBlock y(dim_, kB);
+  if (kB == 0) return y;
+  // Batch-major scratch keeps each item's accumulator contiguous for the
+  // row-axpy kernel; a dense row services the whole batch while L1-hot.
+  std::vector<int> scratch(kB * dim_, 0);
+  for (std::size_t m = 0; m < vectors_.size(); ++m) {
+    const std::int8_t* row = dense_.data() + m * dim_;
+    for (std::size_t b = 0; b < kB; ++b) {
+      const int c = coeffs.at(m, b);
+      if (c == 0) continue;
+      axpy_row(c, row, scratch.data() + b * dim_, dim_);
+    }
+  }
+  for (std::size_t d = 0; d < dim_; ++d) {
+    for (std::size_t b = 0; b < kB; ++b) {
+      y.at(d, b) = scratch[b * dim_ + d];
+    }
   }
   return y;
 }

@@ -9,6 +9,7 @@
 // the same computation through the noisy analog path.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,36 @@
 #include "util/rng.hpp"
 
 namespace h3dfact::hdc {
+
+/// Structure-of-arrays block of integer coefficients for B batch items of
+/// `size` entries each: entry i of item b lives at data[i*batch + b], so a
+/// kernel that walks entries (codebook rows, output dimensions) touches the
+/// whole batch contiguously — the layout the batched MVM kernels and the
+/// CIM macro batch pass consume directly.
+struct CoeffBlock {
+  std::size_t size = 0;   ///< entries per batch item (M or D)
+  std::size_t batch = 0;  ///< number of batch items B
+  std::vector<int> data;  ///< size*batch values, SoA (entry-major)
+
+  CoeffBlock() = default;
+  CoeffBlock(std::size_t size_, std::size_t batch_)
+      : size(size_), batch(batch_), data(size_ * batch_, 0) {}
+
+  [[nodiscard]] int at(std::size_t i, std::size_t b) const {
+    return data[i * batch + b];
+  }
+  int& at(std::size_t i, std::size_t b) { return data[i * batch + b]; }
+
+  /// Gather batch item b into a contiguous vector (per-item channel/argmax).
+  [[nodiscard]] std::vector<int> item(std::size_t b) const;
+
+  /// Scatter a contiguous vector into batch item b. `values.size() == size`.
+  void set_item(std::size_t b, const std::vector<int>& values);
+
+  /// Pack per-item vectors (all of equal length) into a block.
+  [[nodiscard]] static CoeffBlock from_items(
+      const std::vector<std::vector<int>>& items);
+};
 
 /// A set of M random item vectors with fast similarity / projection kernels.
 class Codebook {
@@ -40,6 +71,18 @@ class Codebook {
 
   /// y = X a: weighted sum of codevectors with integer coefficients.
   [[nodiscard]] std::vector<int> project(const std::vector<int>& coeffs) const;
+
+  /// Batched a_b = Xᵀ u_b over the shared codebook: blocked XOR+popcount in
+  /// which a tile of codebook rows stays hot in cache across every query of
+  /// the batch (SIMD-accelerated where the CPU supports it at runtime).
+  /// Returns an M×B block; item b is bit-for-bit equal to similarity(us[b]).
+  [[nodiscard]] CoeffBlock similarity_batch(
+      std::span<const BipolarVector> us) const;
+
+  /// Batched y_b = X a_b: each dense codebook row is streamed once and
+  /// applied to all batch accumulators. `coeffs.size == size()`. Returns a
+  /// D×B block; item b is bit-for-bit equal to project(coeffs.item(b)).
+  [[nodiscard]] CoeffBlock project_batch(const CoeffBlock& coeffs) const;
 
   /// Fused resonator step: sign(X (Xᵀ u)) with deterministic tie-break.
   [[nodiscard]] BipolarVector resonate(const BipolarVector& u) const;

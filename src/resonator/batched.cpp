@@ -1,0 +1,196 @@
+#include "resonator/batched.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "resonator/detail.hpp"
+
+namespace h3dfact::resonator {
+
+using detail::argmax;
+using detail::joint_hash;
+
+BatchedFactorizer::BatchedFactorizer(
+    std::shared_ptr<const hdc::CodebookSet> set, ResonatorOptions options)
+    : set_(std::move(set)),
+      engine_(std::make_shared<ExactMvmEngine>(set_)),
+      options_(std::move(options)) {
+  if (!set_ || set_->factors() == 0) {
+    throw std::invalid_argument(
+        "batched factorizer needs a non-empty codebook set");
+  }
+  options_.update = UpdateMode::kSynchronous;
+}
+
+BatchedFactorizer::BatchedFactorizer(
+    std::shared_ptr<const hdc::CodebookSet> set,
+    std::shared_ptr<MvmEngine> engine, ResonatorOptions options)
+    : set_(std::move(set)),
+      engine_(std::move(engine)),
+      options_(std::move(options)) {
+  if (!set_ || set_->factors() == 0) {
+    throw std::invalid_argument(
+        "batched factorizer needs a non-empty codebook set");
+  }
+  if (!engine_) throw std::invalid_argument("null MVM engine");
+  options_.update = UpdateMode::kSynchronous;
+}
+
+std::vector<ResonatorResult> BatchedFactorizer::run(
+    std::span<const FactorizationProblem> problems, std::span<util::Rng> rngs,
+    util::Rng& device_rng) const {
+  if (problems.empty()) return {};
+  if (rngs.size() != problems.size()) {
+    throw std::invalid_argument("one RNG per problem required");
+  }
+  for (const auto& problem : problems) {
+    if (problem.codebooks.get() != set_.get() &&
+        (problem.factors() != set_->factors() ||
+         problem.dim() != set_->dim())) {
+      throw std::invalid_argument(
+          "problem incompatible with factorizer codebooks");
+    }
+  }
+
+  const std::size_t N = problems.size();
+  const std::size_t F = set_->factors();
+  const std::size_t D = set_->dim();
+  const bool deterministic_run =
+      !options_.channel || options_.channel->deterministic();
+  const bool random_ties = options_.random_tie_break || !deterministic_run;
+  const auto success_dot = static_cast<long long>(
+      options_.success_threshold * static_cast<double>(D));
+
+  std::vector<ResonatorResult> results(N);
+  std::vector<std::vector<hdc::BipolarVector>> est(N);
+  std::vector<hdc::BipolarVector> P(N);
+  std::vector<LimitCycleDetector> cycles(N);
+
+  // Per-problem init in batch order, mirroring ResonatorNetwork::run so the
+  // per-problem RNG streams line up draw for draw.
+  for (std::size_t b = 0; b < N; ++b) {
+    results[b].decoded.assign(F, 0);
+    est[b].resize(F);
+    for (std::size_t f = 0; f < F; ++f) {
+      if (options_.random_init) {
+        est[b][f] = hdc::BipolarVector::random(D, rngs[b]);
+      } else {
+        est[b][f] = options_.random_tie_break
+                        ? set_->book(f).superposition(rngs[b])
+                        : set_->book(f).superposition();
+      }
+    }
+    P[b] = problems[b].query;
+    for (const auto& v : est[b]) P[b].bind_inplace(v);
+    if (options_.record_correct_trace) {
+      std::vector<std::size_t> decoded0(F);
+      for (std::size_t f = 0; f < F; ++f) {
+        decoded0[f] = set_->book(f).nearest(P[b].bind(est[b][f]));
+      }
+      results[b].correct_trace.push_back(
+          problems[b].is_correct(decoded0) ? 1 : 0);
+    }
+    if (options_.detect_limit_cycles && deterministic_run) {
+      cycles[b].observe(joint_hash(est[b]), 0);
+    }
+  }
+
+  std::vector<std::size_t> active(N);
+  for (std::size_t b = 0; b < N; ++b) active[b] = b;
+
+  std::vector<hdc::BipolarVector> us;
+  std::vector<std::size_t> next_active;
+  for (std::size_t t = 1; t <= options_.max_iterations && !active.empty();
+       ++t) {
+    // Synchronous snapshot: every factor of every problem reads this.
+    std::vector<std::vector<hdc::BipolarVector>> prev;
+    std::vector<hdc::BipolarVector> P_read;
+    prev.reserve(active.size());
+    P_read.reserve(active.size());
+    for (const std::size_t b : active) {
+      prev.push_back(est[b]);
+      P_read.push_back(P[b]);
+    }
+
+    for (std::size_t f = 0; f < F; ++f) {
+      us.clear();
+      us.reserve(active.size());
+      for (std::size_t idx = 0; idx < active.size(); ++idx) {
+        us.push_back(P_read[idx].bind(prev[idx][f]));
+      }
+
+      // One batched similarity pass for this factor across the whole batch.
+      hdc::CoeffBlock a_block = engine_->similarity_batch(f, us, device_rng);
+
+      hdc::CoeffBlock coeffs(set_->book(f).size(), active.size());
+      for (std::size_t idx = 0; idx < active.size(); ++idx) {
+        const std::size_t b = active[idx];
+        std::vector<int> a = a_block.item(idx);
+        results[b].decoded[f] = argmax(a);
+        if (options_.clip_negative_similarity) {
+          for (auto& v : a) v = std::max(v, 0);
+        }
+        if (options_.channel) a = options_.channel->apply(a, rngs[b]);
+        coeffs.set_item(idx, a);
+      }
+
+      // One batched projection pass, then per-problem activation.
+      hdc::CoeffBlock y_block = engine_->project_batch(f, coeffs, device_rng);
+      for (std::size_t idx = 0; idx < active.size(); ++idx) {
+        const std::size_t b = active[idx];
+        const std::vector<int> y = y_block.item(idx);
+        hdc::BipolarVector next =
+            random_ties ? hdc::sign_of(y, rngs[b]) : hdc::sign_of(y);
+        P[b].bind_inplace(est[b][f]);
+        P[b].bind_inplace(next);
+        est[b][f] = std::move(next);
+      }
+    }
+
+    // Decode + convergence; solved/cycled problems retire from the batch.
+    next_active.clear();
+    for (const std::size_t b : active) {
+      results[b].iterations = t;
+      hdc::BipolarVector composed = set_->compose(results[b].decoded);
+      const long long d = composed.dot(problems[b].query);
+      if (options_.record_correct_trace) {
+        results[b].correct_trace.push_back(
+            problems[b].is_correct(results[b].decoded) ? 1 : 0);
+      }
+      if (d >= success_dot) {
+        results[b].solved = true;
+        continue;
+      }
+      if (options_.detect_limit_cycles && deterministic_run) {
+        if (auto info = cycles[b].observe(joint_hash(est[b]), t)) {
+          results[b].cycle = info;
+          if (options_.stop_on_cycle) continue;
+        }
+      }
+      next_active.push_back(b);
+    }
+    active.swap(next_active);
+  }
+
+  for (const std::size_t b : active) results[b].hit_iteration_cap = true;
+  return results;
+}
+
+std::vector<ResonatorResult> BatchedFactorizer::run(
+    std::span<const FactorizationProblem> problems, std::uint64_t seed) const {
+  std::vector<util::Rng> rngs;
+  rngs.reserve(problems.size());
+  for (std::size_t b = 0; b < problems.size(); ++b) {
+    rngs.emplace_back(seed ^
+                      (0xabcdef12345ULL + b * 0x9e3779b97f4a7c15ULL));
+  }
+  std::uint64_t device_stream = seed ^ 0xd1ceb004c0ffee11ULL;
+  util::Rng device_rng(util::splitmix64(device_stream));
+  return run(problems, std::span<util::Rng>(rngs), device_rng);
+}
+
+}  // namespace h3dfact::resonator

@@ -1,0 +1,29 @@
+#pragma once
+// Internal helpers shared by the per-problem (ResonatorNetwork::run) and
+// batched (BatchedFactorizer::run) resonator loops. The batched front-end's
+// bit-identical-to-sequential guarantee depends on both loops using exactly
+// these definitions — keep them here, not duplicated per translation unit.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace h3dfact::resonator::detail {
+
+inline std::size_t argmax(const std::vector<int>& xs) {
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+inline std::uint64_t joint_hash(
+    const std::vector<hdc::BipolarVector>& estimates) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& e : estimates) {
+    h ^= e.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace h3dfact::resonator::detail

@@ -6,7 +6,29 @@
 #include <stdexcept>
 #include <vector>
 
+#include "resonator/detail.hpp"
+
 namespace h3dfact::resonator {
+
+hdc::CoeffBlock MvmEngine::similarity_batch(
+    std::size_t factor, std::span<const hdc::BipolarVector> us,
+    util::Rng& rng) {
+  std::vector<std::vector<int>> items;
+  items.reserve(us.size());
+  for (const auto& u : us) items.push_back(similarity(factor, u, rng));
+  return hdc::CoeffBlock::from_items(items);
+}
+
+hdc::CoeffBlock MvmEngine::project_batch(std::size_t factor,
+                                         const hdc::CoeffBlock& coeffs,
+                                         util::Rng& rng) {
+  std::vector<std::vector<int>> items;
+  items.reserve(coeffs.batch);
+  for (std::size_t b = 0; b < coeffs.batch; ++b) {
+    items.push_back(project(factor, coeffs.item(b), rng));
+  }
+  return hdc::CoeffBlock::from_items(items);
+}
 
 ExactMvmEngine::ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set)
     : set_(std::move(set)) {
@@ -23,6 +45,17 @@ std::vector<int> ExactMvmEngine::project(std::size_t factor,
                                          const std::vector<int>& coeffs,
                                          util::Rng&) {
   return set_->book(factor).project(coeffs);
+}
+
+hdc::CoeffBlock ExactMvmEngine::similarity_batch(
+    std::size_t factor, std::span<const hdc::BipolarVector> us, util::Rng&) {
+  return set_->book(factor).similarity_batch(us);
+}
+
+hdc::CoeffBlock ExactMvmEngine::project_batch(std::size_t factor,
+                                              const hdc::CoeffBlock& coeffs,
+                                              util::Rng&) {
+  return set_->book(factor).project_batch(coeffs);
 }
 
 ResonatorNetwork::ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,
@@ -45,22 +78,8 @@ ResonatorNetwork::ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,
   if (!engine_) throw std::invalid_argument("null MVM engine");
 }
 
-namespace {
-
-std::size_t argmax(const std::vector<int>& xs) {
-  return static_cast<std::size_t>(
-      std::max_element(xs.begin(), xs.end()) - xs.begin());
-}
-
-std::uint64_t joint_hash(const std::vector<hdc::BipolarVector>& estimates) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const auto& e : estimates) {
-    h ^= e.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  }
-  return h;
-}
-
-}  // namespace
+using detail::argmax;
+using detail::joint_hash;
 
 ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
                                       util::Rng& rng) const {
@@ -95,6 +114,16 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
 
   ResonatorResult result;
   result.decoded.assign(F, 0);
+  if (options_.record_correct_trace) {
+    // trace[0]: pre-iteration decode of the initial estimates. Uses the
+    // ideal readout (exact nearest-neighbour), so it is a property of the
+    // state alone and consumes no engine randomness.
+    std::vector<std::size_t> decoded0(F);
+    for (std::size_t f = 0; f < F; ++f) {
+      decoded0[f] = set_->book(f).nearest(P.bind(est[f]));
+    }
+    result.correct_trace.push_back(problem.is_correct(decoded0) ? 1 : 0);
+  }
   LimitCycleDetector cycles;
   if (options_.detect_limit_cycles && deterministic_run) {
     cycles.observe(joint_hash(est), 0);
@@ -102,6 +131,12 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
 
   const auto success_dot = static_cast<long long>(
       options_.success_threshold * static_cast<double>(D));
+
+  // Synchronous mode routes every factor's MVMs through the engine's
+  // batched entry points (batch of one problem here): all F factors read the
+  // same previous state, so the schedule is exactly the one BatchedFactorizer
+  // fans many concurrent problems into.
+  const bool batched_path = options_.update == UpdateMode::kSynchronous;
 
   for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
     // Synchronous mode reads every factor against the previous state.
@@ -127,7 +162,14 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
       std::vector<int> a;
       {
         PhaseProfiler::Scope scope(prof, Phase::kSimilarity);
-        a = engine_->similarity(f, u, rng);
+        if (batched_path) {
+          a = engine_
+                  ->similarity_batch(
+                      f, std::span<const hdc::BipolarVector>(&u, 1), rng)
+                  .item(0);
+        } else {
+          a = engine_->similarity(f, u, rng);
+        }
         if (prof) prof->add_ops(Phase::kSimilarity, set_->book(f).size() * D);
       }
       result.decoded[f] = argmax(a);
@@ -146,7 +188,15 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
       std::vector<int> y;
       {
         PhaseProfiler::Scope scope(prof, Phase::kProjection);
-        y = engine_->project(f, a, rng);
+        if (batched_path) {
+          hdc::CoeffBlock block;
+          block.size = a.size();
+          block.batch = 1;
+          block.data = a;
+          y = engine_->project_batch(f, block, rng).item(0);
+        } else {
+          y = engine_->project(f, a, rng);
+        }
         if (prof) prof->add_ops(Phase::kProjection, set_->book(f).size() * D);
       }
 

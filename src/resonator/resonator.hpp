@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hdc/codebook.hpp"
@@ -41,6 +42,20 @@ class MvmEngine {
   [[nodiscard]] virtual std::vector<int> project(std::size_t factor,
                                                  const std::vector<int>& coeffs,
                                                  util::Rng& rng) = 0;
+
+  /// Batched similarity: a_b = X_fᵀ u_b for every query of the batch in one
+  /// engine pass (M×B block). The default walks the per-call kernel in batch
+  /// order, so custom engines stay correct; ExactMvmEngine swaps in the
+  /// blocked XOR+popcount tile kernel and CimMvmEngine a single macro pass.
+  [[nodiscard]] virtual hdc::CoeffBlock similarity_batch(
+      std::size_t factor, std::span<const hdc::BipolarVector> us,
+      util::Rng& rng);
+
+  /// Batched projection over an M×B SoA coefficient block (D×B block out).
+  /// Same contract as similarity_batch: item b must be distributed like a
+  /// per-call project(factor, coeffs.item(b)).
+  [[nodiscard]] virtual hdc::CoeffBlock project_batch(
+      std::size_t factor, const hdc::CoeffBlock& coeffs, util::Rng& rng);
 };
 
 /// Exact software kernels over a codebook set.
@@ -53,6 +68,12 @@ class ExactMvmEngine final : public MvmEngine {
   [[nodiscard]] std::vector<int> project(std::size_t factor,
                                          const std::vector<int>& coeffs,
                                          util::Rng& rng) override;
+  [[nodiscard]] hdc::CoeffBlock similarity_batch(
+      std::size_t factor, std::span<const hdc::BipolarVector> us,
+      util::Rng& rng) override;
+  [[nodiscard]] hdc::CoeffBlock project_batch(std::size_t factor,
+                                              const hdc::CoeffBlock& coeffs,
+                                              util::Rng& rng) override;
 
  private:
   std::shared_ptr<const hdc::CodebookSet> set_;
@@ -102,7 +123,10 @@ struct ResonatorResult {
   std::size_t iterations = 0;           ///< iterations executed
   bool hit_iteration_cap = false;
   std::optional<CycleInfo> cycle;       ///< limit cycle, if one was detected
-  std::vector<char> correct_trace;      ///< per-iteration decode==truth (opt-in)
+  /// Decode==truth per iteration (opt-in). Index 0 is the *pre-iteration*
+  /// decode of the initial estimates (ideal readout, no device noise);
+  /// index t >= 1 is the decode after iteration t.
+  std::vector<char> correct_trace;
 };
 
 /// The factorizer. Reusable across problems that share its codebook set.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -11,15 +12,40 @@
 
 namespace h3dfact::resonator {
 
+namespace {
+
+// 1-based rank of the q-quantile order statistic over n outcomes: ceil(q*n),
+// computed with an epsilon so binary-representation error in q (e.g.
+// 0.9 * 30 == 27.000000000000004 in doubles) cannot round a rank up a slot
+// and mislabel the quantile.
+std::size_t quantile_rank(double q, std::size_t n) {
+  const double scaled = q * static_cast<double>(n) - 1e-9;
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(scaled)));
+}
+
+}  // namespace
+
 double TrialStats::accuracy_ci() const {
   return util::wilson_halfwidth(correct, trials);
 }
 
 double TrialStats::iterations_quantile(double q) const {
-  if (trials == 0) return -1.0;
-  const auto needed = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(trials)));
-  if (iteration_samples.size() < needed || needed == 0) return -1.0;
+  if (trials == 0 || q <= 0.0 || q > 1.0) return -1.0;
+  // Censor-aware over ALL trials: unsolved trials sit at +inf, so the q-th
+  // order statistic exists iff at least ceil(q*trials) trials solved.
+  const std::size_t needed = quantile_rank(q, trials);
+  if (iteration_samples.size() < needed) return -1.0;
+  std::vector<double> xs = iteration_samples;
+  std::sort(xs.begin(), xs.end());
+  return xs[needed - 1];
+}
+
+double TrialStats::iterations_quantile_solved(double q) const {
+  if (iteration_samples.empty() || q <= 0.0 || q > 1.0) return -1.0;
+  const std::size_t needed =
+      std::min(quantile_rank(q, iteration_samples.size()),
+               iteration_samples.size());
   std::vector<double> xs = iteration_samples;
   std::sort(xs.begin(), xs.end());
   return xs[needed - 1];
@@ -37,58 +63,84 @@ double TrialStats::accuracy_at(std::size_t k) const {
          static_cast<double>(trials);
 }
 
+ResonatorNetwork make_baseline(std::shared_ptr<const hdc::CodebookSet> set,
+                               const TrialConfig& config) {
+  ResonatorOptions opts;
+  opts.max_iterations = config.max_iterations;
+  opts.channel = nullptr;
+  opts.record_correct_trace = config.record_correct_trace;
+  return ResonatorNetwork(std::move(set), opts);
+}
+
+ResonatorNetwork make_h3dfact(std::shared_ptr<const hdc::CodebookSet> set,
+                              const TrialConfig& config, int adc_bits,
+                              double sigma_frac) {
+  ResonatorOptions opts;
+  opts.max_iterations = config.max_iterations;
+  opts.channel = make_h3dfact_channel(set->dim(), adc_bits, sigma_frac);
+  opts.detect_limit_cycles = false;
+  opts.record_correct_trace = config.record_correct_trace;
+  return ResonatorNetwork(std::move(set), opts);
+}
+
 TrialStats run_trials(const TrialConfig& config, bool record_traces) {
   if (config.trials == 0) throw std::invalid_argument("zero trials");
 
-  util::Rng master(config.seed);
+  TrialConfig cfg = config;
+  cfg.record_correct_trace = config.record_correct_trace || record_traces;
+  const bool traces = cfg.record_correct_trace;
+
+  util::Rng master(cfg.seed);
   auto generator = std::make_shared<ProblemGenerator>(
-      config.dim, config.factors, config.codebook_size, master);
+      cfg.dim, cfg.factors, cfg.codebook_size, master);
   auto set = generator->codebooks_ptr();
 
-  auto factory = config.factory;
+  auto factory = cfg.factory;
   if (!factory) {
-    const std::size_t cap = config.max_iterations;
-    factory = [cap](std::shared_ptr<const hdc::CodebookSet> s) {
-      return make_baseline(std::move(s), cap);
+    factory = [](std::shared_ptr<const hdc::CodebookSet> s,
+                 const TrialConfig& c) {
+      return make_baseline(std::move(s), c);
     };
   }
 
-  unsigned nthreads = config.threads;
+  unsigned nthreads = cfg.threads;
   if (nthreads == 0) {
     nthreads = std::max(1u, std::thread::hardware_concurrency());
   }
   nthreads = static_cast<unsigned>(
-      std::min<std::size_t>(nthreads, config.trials));
+      std::min<std::size_t>(nthreads, cfg.trials));
 
   TrialStats total;
-  total.trials = config.trials;
-  if (record_traces) {
-    total.correct_by_iteration.assign(config.max_iterations + 1, 0);
+  total.trials = cfg.trials;
+  if (traces) {
+    total.correct_by_iteration.assign(cfg.max_iterations + 1, 0);
   }
 
   std::mutex merge_mutex;
   std::atomic<std::size_t> next_trial{0};
+  std::exception_ptr worker_error;
 
   auto worker = [&]() {
-    // Each network instance is immutable/shared-safe; build once per thread.
-    ResonatorNetwork net = factory(set);
-    ResonatorOptions opts = net.options();
-    if (record_traces && !opts.record_correct_trace) {
-      opts.record_correct_trace = true;
-      net = ResonatorNetwork(set, opts);
+    // The factory receives the config, so the network it builds already
+    // honors the trace opt-in — no rebuild behind the factory's back.
+    ResonatorNetwork net = factory(set, cfg);
+    if (traces && !net.options().record_correct_trace) {
+      throw std::invalid_argument(
+          "record_correct_trace requested but the factory built a network "
+          "without ResonatorOptions::record_correct_trace");
     }
 
     TrialStats local;
     std::vector<std::size_t> local_correct_hist;
-    if (record_traces) local_correct_hist.assign(config.max_iterations + 1, 0);
+    if (traces) local_correct_hist.assign(cfg.max_iterations + 1, 0);
 
     for (;;) {
       const std::size_t t = next_trial.fetch_add(1);
-      if (t >= config.trials) break;
-      util::Rng trial_rng(config.seed ^ (0xabcdef12345ULL + t * 0x9e3779b97f4a7c15ULL));
+      if (t >= cfg.trials) break;
+      util::Rng trial_rng(cfg.seed ^ (0xabcdef12345ULL + t * 0x9e3779b97f4a7c15ULL));
       FactorizationProblem problem =
-          config.query_flip_prob > 0.0
-              ? generator->sample_noisy(config.query_flip_prob, trial_rng)
+          cfg.query_flip_prob > 0.0
+              ? generator->sample_noisy(cfg.query_flip_prob, trial_rng)
               : generator->sample(trial_rng);
 
       ResonatorResult r = net.run(problem, trial_rng);
@@ -100,22 +152,23 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
       }
       if (correct) ++local.correct;
       if (r.cycle) ++local.cycles;
-      if (record_traces) {
-        // correct_trace[i] == decode correctness after iteration i+1; count
-        // the first iteration from which the decode stays correct to the end.
-        std::size_t first_stable = r.correct_trace.size() + 1;
-        for (std::size_t i = r.correct_trace.size(); i-- > 0;) {
-          if (r.correct_trace[i]) {
-            first_stable = i + 1;
+      if (traces) {
+        // correct_trace[i] == decode correctness after iteration i, with
+        // i == 0 the pre-iteration decode of the initial state; count from
+        // the first index whose whole suffix stays correct.
+        const auto& trace = r.correct_trace;
+        std::size_t first_stable = trace.size();  // sentinel: never stable
+        for (std::size_t i = trace.size(); i-- > 0;) {
+          if (trace[i]) {
+            first_stable = i;
           } else {
             break;
           }
         }
-        // A solved-and-correct run stays correct after it stops.
-        if (first_stable <= r.correct_trace.size() ||
-            (r.solved && correct)) {
-          const std::size_t from = std::min(first_stable, config.max_iterations);
-          for (std::size_t k = from; k <= config.max_iterations; ++k) {
+        // A solved-and-correct run stays correct after it stops early.
+        if (first_stable < trace.size() || (r.solved && correct)) {
+          const std::size_t from = std::min(first_stable, cfg.max_iterations);
+          for (std::size_t k = from; k <= cfg.max_iterations; ++k) {
             ++local_correct_hist[k];
           }
         }
@@ -130,10 +183,19 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
     total.iteration_samples.insert(total.iteration_samples.end(),
                                    local.iteration_samples.begin(),
                                    local.iteration_samples.end());
-    if (record_traces) {
+    if (traces) {
       for (std::size_t k = 0; k < local_correct_hist.size(); ++k) {
         total.correct_by_iteration[k] += local_correct_hist[k];
       }
+    }
+  };
+
+  auto guarded_worker = [&]() {
+    try {
+      worker();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      if (!worker_error) worker_error = std::current_exception();
     }
   };
 
@@ -142,8 +204,9 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
   } else {
     std::vector<std::thread> pool;
     pool.reserve(nthreads);
-    for (unsigned i = 0; i < nthreads; ++i) pool.emplace_back(worker);
+    for (unsigned i = 0; i < nthreads; ++i) pool.emplace_back(guarded_worker);
     for (auto& th : pool) th.join();
+    if (worker_error) std::rethrow_exception(worker_error);
   }
   return total;
 }

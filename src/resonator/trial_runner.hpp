@@ -23,8 +23,17 @@ struct TrialConfig {
   double query_flip_prob = 0.0;  ///< query noise (perceptual frontend)
   std::uint64_t seed = 1;
   unsigned threads = 0;          ///< 0 = hardware concurrency
-  /// Builds the factorizer for a given codebook set. Defaults to baseline.
-  std::function<ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet>)> factory;
+  /// Record per-iteration correctness traces (accuracy-vs-iteration curves,
+  /// Fig. 6a/6b). Threaded through the factory: the network it builds must
+  /// have ResonatorOptions::record_correct_trace set accordingly — the
+  /// TrialConfig-taking make_baseline / make_h3dfact overloads do this.
+  bool record_correct_trace = false;
+  /// Builds the factorizer for a given codebook set; receives the config so
+  /// it can honor max_iterations and record_correct_trace. Defaults to the
+  /// deterministic baseline.
+  std::function<ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet>,
+                                 const TrialConfig&)>
+      factory;
 };
 
 /// Aggregated outcome over all trials.
@@ -45,18 +54,42 @@ struct TrialStats {
   }
   /// 95% Wilson half-width on the accuracy estimate.
   [[nodiscard]] double accuracy_ci() const;
-  /// Iterations within which a fraction `q` of all trials converged;
-  /// returns -1 if fewer than q of the trials converged at all.
+  /// Censor-aware quantile of iterations-to-convergence over ALL trials:
+  /// unsolved trials are treated as censored at +inf, so this returns the
+  /// smallest iteration count within which at least a fraction `q` of all
+  /// trials converged, or -1 ("Fail" in the paper's Table II convention)
+  /// when fewer than q of the trials converged at all. `q` must lie in
+  /// (0, 1]; out-of-range values return -1.
   [[nodiscard]] double iterations_quantile(double q) const;
+  /// Quantile of iterations among SOLVED trials only (no censoring): the
+  /// conditional convergence-speed distribution. -1 if none solved or `q`
+  /// is outside (0, 1].
+  [[nodiscard]] double iterations_quantile_solved(double q) const;
   /// Median iterations among solved trials (-1 if none solved).
   [[nodiscard]] double median_iterations() const;
   /// Accuracy after exactly k iterations (requires trace recording).
+  /// k = 0 is the pre-iteration accuracy: the fraction of trials whose
+  /// initial-state decode was already correct and stayed correct.
   [[nodiscard]] double accuracy_at(std::size_t k) const;
 };
 
 /// Run the experiment described by `config`.
-/// If `record_traces` is set, per-iteration correctness histograms are kept
-/// (needed for the accuracy-vs-iteration curves of Fig. 6a/6b).
+/// The deprecated `record_traces` parameter ORs into
+/// `config.record_correct_trace` (prefer setting the config field). When
+/// traces are requested the factory must build a network that records them
+/// (std::invalid_argument otherwise — the runner no longer rebuilds
+/// networks behind the factory's back).
 TrialStats run_trials(const TrialConfig& config, bool record_traces = false);
+
+/// Deterministic baseline factorizer honoring the config's iteration cap
+/// and trace opt-in — the default TrialConfig::factory.
+ResonatorNetwork make_baseline(std::shared_ptr<const hdc::CodebookSet> set,
+                               const TrialConfig& config);
+
+/// H3DFact stochastic factorizer honoring the config's iteration cap and
+/// trace opt-in (see make_h3dfact in resonator.hpp for the channel model).
+ResonatorNetwork make_h3dfact(std::shared_ptr<const hdc::CodebookSet> set,
+                              const TrialConfig& config, int adc_bits = 4,
+                              double sigma_frac = 0.5);
 
 }  // namespace h3dfact::resonator

@@ -1,0 +1,371 @@
+// Batched-MVM equivalence tests (the batched kernels must be bit-for-bit
+// equal to the per-call kernels on the exact engine, and draw-for-draw
+// compatible on the CIM engine), plus regression tests for the trial-stat
+// accounting bugs fixed alongside them (quantile FP rounding, pre-iteration
+// accuracy_at(0), factory-threaded trace opt-in).
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "cim/engine.hpp"
+#include "hdc/codebook.hpp"
+#include "resonator/batched.hpp"
+#include "resonator/channels.hpp"
+#include "resonator/resonator.hpp"
+#include "resonator/trial_runner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace h3dfact;
+
+std::vector<hdc::BipolarVector> random_queries(std::size_t dim, std::size_t n,
+                                               util::Rng& rng) {
+  std::vector<hdc::BipolarVector> us;
+  us.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    us.push_back(hdc::BipolarVector::random(dim, rng));
+  }
+  return us;
+}
+
+TEST(CoeffBlock, RoundTripsItems) {
+  std::vector<std::vector<int>> items = {{1, -2, 3}, {0, 5, -7}, {9, 9, 0}};
+  hdc::CoeffBlock block = hdc::CoeffBlock::from_items(items);
+  EXPECT_EQ(block.size, 3u);
+  EXPECT_EQ(block.batch, 3u);
+  for (std::size_t b = 0; b < items.size(); ++b) {
+    EXPECT_EQ(block.item(b), items[b]);
+  }
+  block.set_item(1, {4, 4, 4});
+  EXPECT_EQ(block.item(1), (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ(block.item(0), items[0]);  // neighbours untouched
+  EXPECT_THROW(block.set_item(0, {1, 2}), std::invalid_argument);
+}
+
+// The batched similarity kernel must reproduce the per-call kernel exactly,
+// across dimensions that exercise the SIMD main loop, the word tail, and
+// the sub-word tail mask.
+TEST(BatchedKernels, SimilarityBatchBitExact) {
+  util::Rng rng(101);
+  for (std::size_t dim : {64u, 192u, 1000u, 1024u}) {
+    for (std::size_t m : {1u, 7u, 33u}) {
+      hdc::Codebook cb(dim, m, rng);
+      for (std::size_t batch : {1u, 2u, 5u}) {
+        auto us = random_queries(dim, batch, rng);
+        hdc::CoeffBlock block = cb.similarity_batch(us);
+        ASSERT_EQ(block.size, m);
+        ASSERT_EQ(block.batch, batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+          EXPECT_EQ(block.item(b), cb.similarity(us[b]))
+              << "dim=" << dim << " m=" << m << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedKernels, ProjectBatchBitExact) {
+  util::Rng rng(202);
+  for (std::size_t dim : {64u, 200u, 1024u}) {
+    for (std::size_t m : {1u, 9u, 40u}) {
+      hdc::Codebook cb(dim, m, rng);
+      for (std::size_t batch : {1u, 3u, 6u}) {
+        std::vector<std::vector<int>> items(batch, std::vector<int>(m));
+        for (auto& item : items) {
+          for (auto& c : item) {
+            c = static_cast<int>(rng.range(-9, 9));  // zeros included
+          }
+        }
+        hdc::CoeffBlock coeffs = hdc::CoeffBlock::from_items(items);
+        hdc::CoeffBlock y = cb.project_batch(coeffs);
+        ASSERT_EQ(y.size, dim);
+        ASSERT_EQ(y.batch, batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+          EXPECT_EQ(y.item(b), cb.project(items[b]))
+              << "dim=" << dim << " m=" << m << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+// The MvmEngine default batch implementation (loop over per-call kernels)
+// and the ExactMvmEngine tile-kernel override must agree.
+TEST(BatchedKernels, EngineBatchMatchesPerCallLoop) {
+  util::Rng rng(303);
+  auto set = std::make_shared<hdc::CodebookSet>(512, 3, 16, rng);
+
+  // Thin per-call engine that deliberately inherits the default batched
+  // entry points.
+  class PerCallEngine final : public resonator::MvmEngine {
+   public:
+    explicit PerCallEngine(std::shared_ptr<const hdc::CodebookSet> s)
+        : set_(std::move(s)) {}
+    std::vector<int> similarity(std::size_t f, const hdc::BipolarVector& u,
+                                util::Rng&) override {
+      return set_->book(f).similarity(u);
+    }
+    std::vector<int> project(std::size_t f, const std::vector<int>& coeffs,
+                             util::Rng&) override {
+      return set_->book(f).project(coeffs);
+    }
+
+   private:
+    std::shared_ptr<const hdc::CodebookSet> set_;
+  };
+
+  PerCallEngine base(set);
+  resonator::ExactMvmEngine tiled(set);
+  auto us = random_queries(512, 4, rng);
+  for (std::size_t f = 0; f < set->factors(); ++f) {
+    auto a_base = base.similarity_batch(f, us, rng);
+    auto a_tiled = tiled.similarity_batch(f, us, rng);
+    EXPECT_EQ(a_base.data, a_tiled.data);
+    auto y_base = base.project_batch(f, a_base, rng);
+    auto y_tiled = tiled.project_batch(f, a_tiled, rng);
+    EXPECT_EQ(y_base.data, y_tiled.data);
+  }
+}
+
+void expect_same_result(const resonator::ResonatorResult& a,
+                        const resonator::ResonatorResult& b,
+                        std::size_t problem) {
+  EXPECT_EQ(a.solved, b.solved) << "problem " << problem;
+  EXPECT_EQ(a.iterations, b.iterations) << "problem " << problem;
+  EXPECT_EQ(a.decoded, b.decoded) << "problem " << problem;
+  EXPECT_EQ(a.hit_iteration_cap, b.hit_iteration_cap) << "problem " << problem;
+  EXPECT_EQ(a.correct_trace, b.correct_trace) << "problem " << problem;
+  EXPECT_EQ(a.cycle.has_value(), b.cycle.has_value()) << "problem " << problem;
+}
+
+// On the exact engine the batched front-end must replay each problem's
+// synchronous trajectory bit for bit when seeded with the same per-problem
+// generator.
+TEST(BatchedFactorizer, MatchesSequentialSynchronousRuns) {
+  util::Rng rng(404);
+  auto set = std::make_shared<hdc::CodebookSet>(512, 3, 8, rng);
+  resonator::ProblemGenerator gen(set);
+
+  resonator::ResonatorOptions opts;
+  opts.update = resonator::UpdateMode::kSynchronous;
+  opts.max_iterations = 60;
+  opts.record_correct_trace = true;
+
+  std::vector<resonator::FactorizationProblem> problems;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    util::Rng prng(500 + i);
+    problems.push_back(gen.sample(prng));
+    seeds.push_back(9000 + 31 * i);
+  }
+
+  resonator::ResonatorNetwork net(set, opts);
+  std::vector<resonator::ResonatorResult> sequential;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    util::Rng run_rng(seeds[i]);
+    sequential.push_back(net.run(problems[i], run_rng));
+  }
+
+  resonator::BatchedFactorizer batched(set, opts);
+  std::vector<util::Rng> rngs;
+  for (std::uint64_t s : seeds) rngs.emplace_back(s);
+  util::Rng device_rng(1);
+  auto results = batched.run(problems, rngs, device_rng);
+
+  ASSERT_EQ(results.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    expect_same_result(sequential[i], results[i], i);
+  }
+}
+
+// Same equivalence through a stochastic similarity channel: the channel
+// draws from the per-problem generator, so trajectories still replay.
+TEST(BatchedFactorizer, MatchesSequentialRunsWithStochasticChannel) {
+  util::Rng rng(505);
+  auto set = std::make_shared<hdc::CodebookSet>(512, 3, 8, rng);
+  resonator::ProblemGenerator gen(set);
+
+  resonator::ResonatorOptions opts;
+  opts.update = resonator::UpdateMode::kSynchronous;
+  opts.max_iterations = 80;
+  opts.channel = resonator::make_h3dfact_channel(512);
+  opts.detect_limit_cycles = false;
+
+  std::vector<resonator::FactorizationProblem> problems;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    util::Rng prng(600 + i);
+    problems.push_back(gen.sample(prng));
+  }
+
+  resonator::ResonatorNetwork net(set, opts);
+  resonator::BatchedFactorizer batched(set, opts);
+
+  std::vector<resonator::ResonatorResult> sequential;
+  std::vector<util::Rng> rngs;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    util::Rng run_rng(7000 + 13 * i);
+    sequential.push_back(net.run(problems[i], run_rng));
+    rngs.emplace_back(7000 + 13 * i);
+  }
+  util::Rng device_rng(2);
+  auto results = batched.run(problems, rngs, device_rng);
+
+  ASSERT_EQ(results.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    expect_same_result(sequential[i], results[i], i);
+  }
+}
+
+TEST(BatchedFactorizer, ValidatesInputs) {
+  util::Rng rng(606);
+  auto set = std::make_shared<hdc::CodebookSet>(256, 2, 4, rng);
+  resonator::BatchedFactorizer batched(set, resonator::ResonatorOptions{});
+  EXPECT_EQ(batched.options().update, resonator::UpdateMode::kSynchronous);
+
+  resonator::ProblemGenerator gen(set);
+  std::vector<resonator::FactorizationProblem> problems = {gen.sample(rng)};
+  std::vector<util::Rng> rngs;  // wrong count
+  util::Rng device_rng(3);
+  EXPECT_THROW((void)batched.run(problems, rngs, device_rng),
+               std::invalid_argument);
+  EXPECT_TRUE(
+      batched.run(std::span<const resonator::FactorizationProblem>{}, 1)
+          .empty());
+}
+
+cim::MacroConfig small_macro_config() {
+  cim::MacroConfig mc;
+  mc.rows = 64;
+  mc.subarrays = 4;  // dim = 256
+  return mc;
+}
+
+// A batch of one must replay the per-call device-noise draw sequence
+// exactly: same engine state, same rng seed, same outputs.
+TEST(CimBatch, BatchOfOneMatchesPerCall) {
+  util::Rng rng(707);
+  auto set = std::make_shared<hdc::CodebookSet>(256, 2, 7, rng);
+  cim::CimMvmEngine engine(set, small_macro_config(), rng);
+
+  auto u = hdc::BipolarVector::random(256, rng);
+  util::Rng a_rng(42);
+  auto per_call = engine.similarity(0, u, a_rng);
+  util::Rng b_rng(42);
+  auto batched =
+      engine
+          .similarity_batch(0, std::span<const hdc::BipolarVector>(&u, 1),
+                            b_rng)
+          .item(0);
+  EXPECT_EQ(per_call, batched);
+
+  std::vector<int> coeffs(7);
+  for (auto& c : coeffs) c = static_cast<int>(rng.range(0, 15));
+  util::Rng c_rng(43);
+  auto y_per_call = engine.project(0, coeffs, c_rng);
+  util::Rng d_rng(43);
+  hdc::CoeffBlock block = hdc::CoeffBlock::from_items({coeffs});
+  auto y_batched = engine.project_batch(0, block, d_rng).item(0);
+  EXPECT_EQ(y_per_call, y_batched);
+}
+
+// Distribution compatibility: a batched macro pass over B copies of one
+// query must produce the same read-out statistics as B per-call passes.
+TEST(CimBatch, BatchedNoiseIsDistributionCompatible) {
+  util::Rng rng(808);
+  auto set = std::make_shared<hdc::CodebookSet>(256, 1, 4, rng);
+  cim::CimMvmEngine engine(set, small_macro_config(), rng);
+  auto u = hdc::BipolarVector::random(256, rng);
+
+  constexpr std::size_t kB = 64;
+  util::Rng call_rng(21);
+  double per_call_mean = 0.0;
+  for (std::size_t i = 0; i < kB; ++i) {
+    for (int v : engine.similarity(0, u, call_rng)) per_call_mean += v;
+  }
+  std::vector<hdc::BipolarVector> us(kB, u);
+  util::Rng batch_rng(22);
+  hdc::CoeffBlock block = engine.similarity_batch(0, us, batch_rng);
+  double batch_mean = 0.0;
+  for (int v : block.data) batch_mean += v;
+  per_call_mean /= static_cast<double>(kB * 4);
+  batch_mean /= static_cast<double>(kB * 4);
+  // Same signal + same noise model: means agree to well under one ADC code.
+  EXPECT_NEAR(per_call_mean, batch_mean, 0.5);
+}
+
+// --- trial-stat regression tests -----------------------------------------
+
+// 0.9 * 30 == 27.000000000000004 in doubles; the old ceil() made the rank
+// 28 and reported "Fail" even though exactly 90% of trials converged.
+TEST(TrialStatsRegression, QuantileRankIsFpRobust) {
+  resonator::TrialStats s;
+  s.trials = 30;
+  for (int i = 1; i <= 27; ++i) {
+    s.iteration_samples.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(0.9), 27.0);
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(0.5), 15.0);
+  // 28 of 30 never converged past 27 solved -> censored.
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(0.95), -1.0);
+  // Out-of-range q is rejected, not misinterpreted.
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(1.5), -1.0);
+}
+
+TEST(TrialStatsRegression, SolvedOnlyQuantileIgnoresCensoring) {
+  resonator::TrialStats s;
+  s.trials = 100;  // 96 unsolved
+  s.iteration_samples = {8.0, 2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(s.iterations_quantile_solved(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(s.iterations_quantile_solved(1.0), 8.0);
+  // Censor-aware quantile over all trials still fails far below q=0.5.
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(0.5), -1.0);
+  EXPECT_DOUBLE_EQ(s.iterations_quantile(0.04), 8.0);
+}
+
+// With one factor the pre-iteration decode is nearest(query) == truth, so
+// accuracy_at(0) — impossible to reach before the fix — must be 1.
+TEST(TrialStatsRegression, AccuracyAtZeroCountsPreIterationDecode) {
+  resonator::TrialConfig cfg;
+  cfg.dim = 256;
+  cfg.factors = 1;
+  cfg.codebook_size = 4;
+  cfg.trials = 10;
+  cfg.max_iterations = 20;
+  cfg.seed = 77;
+  cfg.threads = 2;
+  cfg.record_correct_trace = true;
+  auto stats = resonator::run_trials(cfg);
+  EXPECT_DOUBLE_EQ(stats.accuracy_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.accuracy_at(cfg.max_iterations), stats.accuracy());
+}
+
+// The runner no longer rebuilds networks behind the factory's back: a
+// factory that ignores the trace opt-in is a configuration error.
+TEST(TrialStatsRegression, FactoryIgnoringTraceOptInThrows) {
+  resonator::TrialConfig cfg;
+  cfg.dim = 256;
+  cfg.factors = 2;
+  cfg.codebook_size = 4;
+  cfg.trials = 4;
+  cfg.max_iterations = 10;
+  cfg.threads = 1;
+  cfg.record_correct_trace = true;
+  cfg.factory = [](std::shared_ptr<const hdc::CodebookSet> s,
+                   const resonator::TrialConfig& c) {
+    resonator::ResonatorOptions opts;
+    opts.max_iterations = c.max_iterations;  // forgets record_correct_trace
+    return resonator::ResonatorNetwork(std::move(s), opts);
+  };
+  EXPECT_THROW((void)resonator::run_trials(cfg), std::invalid_argument);
+  // The multi-threaded path surfaces the same error instead of terminating.
+  cfg.threads = 3;
+  EXPECT_THROW((void)resonator::run_trials(cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -27,8 +27,9 @@ resonator::TrialStats stoch_cell(std::size_t M, std::size_t trials,
   cfg.trials = trials;
   cfg.max_iterations = cap;
   cfg.seed = seed;
-  cfg.factory = [cap](std::shared_ptr<const hdc::CodebookSet> s) {
-    return resonator::make_h3dfact(std::move(s), cap);
+  cfg.factory = [](std::shared_ptr<const hdc::CodebookSet> s,
+                   const resonator::TrialConfig& c) {
+    return resonator::make_h3dfact(std::move(s), c);
   };
   return resonator::run_trials(cfg);
 }

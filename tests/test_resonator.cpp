@@ -313,7 +313,9 @@ TEST(Resonator, RecordCorrectTraceLengthMatchesIterations) {
   ResonatorNetwork net(gen.codebooks_ptr(), opts);
   auto p = gen.sample(rng);
   auto r = net.run(p, rng);
-  EXPECT_EQ(r.correct_trace.size(), r.iterations);
+  // One pre-iteration entry (index 0 = decode of the initial state) plus
+  // one entry per executed iteration.
+  EXPECT_EQ(r.correct_trace.size(), r.iterations + 1);
 }
 
 TEST(Resonator, IterationCapReported) {
@@ -418,8 +420,9 @@ TEST(TrialRunner, StochasticFactoryUsed) {
   cfg.trials = 20;
   cfg.max_iterations = 500;
   cfg.seed = 17;
-  cfg.factory = [&](std::shared_ptr<const hdc::CodebookSet> s) {
-    return resonator::make_h3dfact(std::move(s), 500);
+  cfg.factory = [](std::shared_ptr<const hdc::CodebookSet> s,
+                   const resonator::TrialConfig& c) {
+    return resonator::make_h3dfact(std::move(s), c);
   };
   auto stats = resonator::run_trials(cfg);
   EXPECT_GE(stats.accuracy(), 0.9);
