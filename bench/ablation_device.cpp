@@ -4,6 +4,10 @@
 // drive the stochastic factorizer with RRAM-testchip statistics vs PCM
 // statistics (larger spread + conductance drift) and compare accuracy /
 // convergence at a problem size where the deterministic baseline fails.
+//
+// Declared as a custom technology axis: each point captures the extracted
+// (sigma, gain) operating point into Cell::params, and the shared H3DFact
+// cell factory builds the channel from them.
 
 #include <algorithm>
 #include <cmath>
@@ -23,8 +27,6 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
   const std::size_t M = static_cast<std::size_t>(cli.i64("m", 128));
-  const std::size_t trials = static_cast<std::size_t>(cli.i64("trials", 20));
-  const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 6000));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 55));
 
   // Extract per-technology similarity-path statistics (256-row columns).
@@ -46,41 +48,50 @@ int main(int argc, char** argv) {
       {"ideal (no device noise)", 0.0, 1.0},
   };
 
+  sweep::SweepSpec spec;
+  spec.name = "ablation_device";
+  spec.base.dim = dim;
+  spec.base.factors = 3;
+  spec.base.codebook_size = M;
+  spec.base.trials = static_cast<std::size_t>(cli.i64("trials", 20));
+  spec.base.max_iterations = static_cast<std::size_t>(cli.i64("cap", 6000));
+  spec.base.seed = seed + 13;
+
+  std::vector<sweep::AxisPoint> points;
+  for (const Tech& tech : techs) {
+    sweep::AxisPoint p;
+    p.label = tech.name;
+    p.value = tech.sigma;
+    // Drift-induced gain applies uniformly to the similarity values; the
+    // sign activation is scale-invariant, so only the threshold/sigma ratio
+    // shifts: fold the gain into an effective threshold.
+    const double sigma_frac = tech.sigma / std::sqrt(static_cast<double>(dim));
+    const double threshold = 1.5 / std::max(tech.gain, 1e-3);
+    p.apply = [sigma_frac, threshold](sweep::Cell& c) {
+      c.params["sigma"] = sigma_frac;
+      c.params["theta"] = threshold;
+    };
+    p.meta["path_sigma_counts"] = util::Table::fmt(tech.sigma, 1);
+    p.meta["gain"] = util::Table::fmt(tech.gain, 3);
+    points.push_back(std::move(p));
+  }
+  spec.axes.push_back(sweep::Axis::custom("technology", std::move(points)));
+  spec.factory = bench::make_h3dfact_cell;
+
+  const auto results = sweep::run_sweep(
+      spec, bench::sweep_options_from_cli(cli, "ablation_device"));
+  bench::emit_results(cli, spec, results);
+
   util::Table t("Ablation -- device statistics on the similarity path (F=3, M=" +
                 std::to_string(M) + ")");
   t.set_header({"technology", "path sigma (counts)", "gain", "accuracy %",
                 "median iters", "p99 iters"});
-  for (const auto& tech : techs) {
-    resonator::TrialConfig cfg;
-    cfg.dim = dim;
-    cfg.factors = 3;
-    cfg.codebook_size = M;
-    cfg.trials = trials;
-    cfg.max_iterations = cap;
-    cfg.seed = seed + 13;
-    const double sigma_frac = tech.sigma / std::sqrt(static_cast<double>(dim));
-    // Drift-induced gain applies uniformly to the similarity values; the
-    // sign activation is scale-invariant, so only the threshold/sigma ratio
-    // shifts: fold the gain into an effective threshold.
-    const double threshold = 1.5 / std::max(tech.gain, 1e-3);
-    cfg.factory = [&, sigma_frac, threshold](
-                      std::shared_ptr<const hdc::CodebookSet> s,
-                      const resonator::TrialConfig& c) {
-      resonator::ResonatorOptions opts;
-      opts.max_iterations = c.max_iterations;
-      opts.detect_limit_cycles = false;
-      opts.record_correct_trace = c.record_correct_trace;
-      opts.channel =
-          resonator::make_h3dfact_channel(dim, 4, sigma_frac, 4.0, threshold);
-      return resonator::ResonatorNetwork(std::move(s), opts);
-    };
-    auto stats = resonator::run_trials(cfg);
-    const double med = stats.median_iterations();
-    t.add_row({tech.name, util::Table::fmt(tech.sigma, 1),
-               util::Table::fmt(tech.gain, 3), bench::acc_pct(stats),
+  for (const auto& r : results) {
+    const double med = r.stats.median_iterations();
+    t.add_row({r.coordinates[0].second, r.meta.at("path_sigma_counts"),
+               r.meta.at("gain"), bench::acc_pct(r.stats),
                med < 0 ? "-" : util::Table::fmt(med, 0),
-               bench::iters_or_fail(stats)});
-    std::fprintf(stderr, "[ablation_device] %s done\n", tech.name);
+               bench::iters_or_fail(r.stats)});
   }
   t.add_note("Device read noise is small next to the threshold + 4-bit ADC "
              "stochasticity, so all three similarity paths factorize sizes "

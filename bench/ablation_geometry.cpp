@@ -2,14 +2,21 @@
 // Larger arrays amortize TSVs but are less efficiently utilized; more
 // subarrays add parallelism at linear TSV/area cost. Prints the PPA of each
 // geometry at iso-dimension D = d*f = 1024.
+//
+// The geometry grid is declared with the sweep axis machinery (a custom
+// iso-dimension axis capturing d and f into Cell::params) and enumerated
+// through SweepSpec::cell — a trial-free sweep: each cell is evaluated by
+// the analytical PPA models instead of the trial runner.
 
 #include <iostream>
+#include <vector>
 
 #include "arch/design.hpp"
 #include "arch/interconnect.hpp"
 #include "ppa/area_model.hpp"
 #include "ppa/energy_model.hpp"
 #include "ppa/timing_model.hpp"
+#include "sweep/spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -19,20 +26,36 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   (void)cli;
 
+  struct Geometry { std::size_t d, f; };
+  sweep::SweepSpec spec;
+  spec.name = "ablation_geometry";
+  std::vector<sweep::AxisPoint> points;
+  for (auto g : {Geometry{64, 16}, {128, 8}, {256, 4}, {512, 2}}) {
+    sweep::AxisPoint p;
+    p.label = "d" + std::to_string(g.d) + "/f" + std::to_string(g.f);
+    p.value = static_cast<double>(g.d);
+    p.apply = [g](sweep::Cell& c) {
+      c.params["d"] = static_cast<double>(g.d);
+      c.params["f"] = static_cast<double>(g.f);
+    };
+    points.push_back(std::move(p));
+  }
+  spec.axes.push_back(sweep::Axis::custom("geometry", std::move(points)));
+
   util::Table t("Ablation -- array geometry at iso-dimension D = d*f = 1024");
   t.set_header({"d (rows)", "f (subarrays)", "TSVs", "area mm2", "TOPS",
                 "TOPS/mm2", "TOPS/W"});
-  struct Geometry { std::size_t d, f; };
-  for (auto g : {Geometry{64, 16}, {128, 8}, {256, 4}, {512, 2}}) {
+  for (std::size_t i = 0; i < spec.cell_count(); ++i) {
+    const sweep::Cell cell = spec.cell(i);
     arch::FactorizerDims dims;
-    dims.array_rows = g.d;
-    dims.subarrays = g.f;
+    dims.array_rows = static_cast<std::size_t>(cell.param("d", 256));
+    dims.subarrays = static_cast<std::size_t>(cell.param("f", 4));
     auto design = arch::make_design(arch::DesignKind::kH3dThreeTier, dims);
     auto area = ppa::compute_area(design);
     auto timing = ppa::compute_timing(design);
     auto energy = ppa::compute_energy(design);
-    t.add_row({util::Table::fmt_int(static_cast<long long>(g.d)),
-               util::Table::fmt_int(static_cast<long long>(g.f)),
+    t.add_row({util::Table::fmt_int(static_cast<long long>(dims.array_rows)),
+               util::Table::fmt_int(static_cast<long long>(dims.subarrays)),
                util::Table::fmt_int(static_cast<long long>(design.tsv_count)),
                util::Table::fmt(area.total_mm2(), 3),
                util::Table::fmt(timing.tops, 2),

@@ -3,6 +3,9 @@
 // H3DFact operating point at a problem size where the deterministic baseline
 // fails. Too little noise fails to escape spurious attractors; too much
 // destroys the similarity signal.
+//
+// Both sweeps are declarative one-axis grids over the channel parameters
+// ("sigma", "theta" in Cell::params) executed through the sharded runner.
 
 #include <cmath>
 #include <cstdint>
@@ -16,66 +19,63 @@ using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
   const std::size_t M = static_cast<std::size_t>(cli.i64("m", 128));
-  const std::size_t trials = static_cast<std::size_t>(cli.i64("trials", 20));
-  const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 6000));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 321));
+  const auto options = bench::sweep_options_from_cli(cli, "ablation_noise");
 
-  util::Table t("Ablation -- similarity-path noise sigma (F=3, M=" +
-                std::to_string(M) + ")");
-  t.set_header({"sigma (x sqrt(D))", "accuracy %", "median iters", "p99 iters"});
-  for (double sigma : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}) {
-    resonator::TrialConfig cfg;
-    cfg.dim = dim;
-    cfg.factors = 3;
-    cfg.codebook_size = M;
-    cfg.trials = trials;
-    cfg.max_iterations = cap;
-    cfg.seed = seed;
-    cfg.factory = [sigma](std::shared_ptr<const hdc::CodebookSet> s,
-                          const resonator::TrialConfig& c) {
-      return resonator::make_h3dfact(std::move(s), c, 4, sigma);
-    };
-    auto stats = resonator::run_trials(cfg);
-    const double med = stats.median_iterations();
-    t.add_row({util::Table::fmt(sigma, 2), bench::acc_pct(stats),
-               med < 0 ? "-" : util::Table::fmt(med, 0),
-               bench::iters_or_fail(stats)});
-    std::fprintf(stderr, "[ablation_noise] sigma=%.2f done\n", sigma);
-  }
-  t.add_note("Design point used by H3DFact: sigma = 0.5 sqrt(D) with a "
-             "1.5 sqrt(D) sense threshold and 4-bit unsigned ADC.");
-  t.print(std::cout);
+  sweep::SweepSpec base;
+  base.base.dim = static_cast<std::size_t>(cli.i64("dim", 1024));
+  base.base.factors = 3;
+  base.base.codebook_size = M;
+  base.base.trials = static_cast<std::size_t>(cli.i64("trials", 20));
+  base.base.max_iterations = static_cast<std::size_t>(cli.i64("cap", 6000));
+  base.base.seed = static_cast<std::uint64_t>(cli.i64("seed", 321));
+  base.factory = bench::make_h3dfact_cell;
 
-  util::Table t2("Ablation -- sense threshold (F=3, M=" + std::to_string(M) + ")");
-  t2.set_header({"threshold (x sqrt(D))", "accuracy %", "median iters", "p99 iters"});
-  for (double theta : {0.0, 0.75, 1.5, 2.5, 3.5}) {
-    resonator::TrialConfig cfg;
-    cfg.dim = dim;
-    cfg.factors = 3;
-    cfg.codebook_size = M;
-    cfg.trials = trials;
-    cfg.max_iterations = cap;
-    cfg.seed = seed + 7;
-    cfg.factory = [&, theta](std::shared_ptr<const hdc::CodebookSet> s,
-                             const resonator::TrialConfig& c) {
-      resonator::ResonatorOptions opts;
-      opts.max_iterations = c.max_iterations;
-      opts.detect_limit_cycles = false;
-      opts.record_correct_trace = c.record_correct_trace;
-      opts.channel = resonator::make_h3dfact_channel(dim, 4, 0.5, 4.0, theta);
-      return resonator::ResonatorNetwork(std::move(s), opts);
-    };
-    auto stats = resonator::run_trials(cfg);
-    const double med = stats.median_iterations();
-    t2.add_row({util::Table::fmt(theta, 2), bench::acc_pct(stats),
-                med < 0 ? "-" : util::Table::fmt(med, 0),
-                bench::iters_or_fail(stats)});
-    std::fprintf(stderr, "[ablation_noise] theta=%.2f done\n", theta);
-  }
-  t2.add_note("The threshold sparsifies crosstalk out of the projection; "
+  std::vector<sweep::CellResult> all_results;  // merged --csv/--json dump
+  auto print_sweep = [&](const sweep::SweepSpec& spec,
+                         const std::string& title,
+                         const std::string& axis_header,
+                         const std::string& note) {
+    auto results = sweep::run_sweep(spec, options);
+    // The merged dump spans both grids: offset indices so rows stay unique.
+    for (auto& r : results) r.index += all_results.size();
+    all_results.insert(all_results.end(), results.begin(), results.end());
+    util::Table t(title);
+    t.set_header({axis_header, "accuracy %", "median iters", "p99 iters"});
+    for (const auto& r : results) {
+      const double med = r.stats.median_iterations();
+      t.add_row({r.coordinates[0].second, bench::acc_pct(r.stats),
+                 med < 0 ? "-" : util::Table::fmt(med, 0),
+                 bench::iters_or_fail(r.stats)});
+    }
+    t.add_note(note);
+    t.print(std::cout);
+  };
+
+  sweep::SweepSpec sigma_spec = base;
+  sigma_spec.name = "ablation_noise_sigma";
+  sigma_spec.axes.push_back(
+      sweep::Axis::param("sigma", {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}));
+  print_sweep(sigma_spec,
+              "Ablation -- similarity-path noise sigma (F=3, M=" +
+                  std::to_string(M) + ")",
+              "sigma (x sqrt(D))",
+              "Design point used by H3DFact: sigma = 0.5 sqrt(D) with a "
+              "1.5 sqrt(D) sense threshold and 4-bit unsigned ADC.");
+
+  sweep::SweepSpec theta_spec = base;
+  theta_spec.name = "ablation_noise_theta";
+  theta_spec.base.seed += 7;
+  theta_spec.axes.push_back(
+      sweep::Axis::param("theta", {0.0, 0.75, 1.5, 2.5, 3.5}));
+  print_sweep(theta_spec,
+              "Ablation -- sense threshold (F=3, M=" + std::to_string(M) + ")",
+              "threshold (x sqrt(D))",
+              "The threshold sparsifies crosstalk out of the projection; "
               "too high and the similarity signal itself is cut off.");
-  t2.print(std::cout);
+
+  sweep::SweepSpec combined;
+  combined.name = "ablation_noise";
+  bench::emit_results(cli, combined, all_results);
   return 0;
 }

@@ -1,19 +1,29 @@
 #pragma once
 // Shared helpers for the experiment benches: every bench prints the rows /
 // series the paper reports, with the paper's published value alongside the
-// measured one. Common CLI knobs:
-//   --trials=N   trials per configuration (scaled-down defaults)
-//   --cap=N      iteration cap
-//   --seed=N     master seed
-//   --full       lift the scaled-down defaults to paper-scale settings
+// measured one. The grid benches declare a sweep::SweepSpec and execute it
+// through the sharded SweepRunner. Common CLI knobs:
+//   --trials=N    trials per configuration (scaled-down defaults)
+//   --cap=N       iteration cap
+//   --seed=N      master seed
+//   --full        lift the scaled-down defaults to paper-scale settings
+//   --shards=N    worker processes for the sweep grid (default 1)
+//   --cell-threads=N  threads inside each cell (default: auto)
+//   --csv=PATH / --json=PATH  dump the structured cell results
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "resonator/resonator.hpp"
 #include "resonator/trial_runner.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +49,55 @@ inline resonator::TrialStats run_cell(
     };
   }
   return resonator::run_trials(cfg);
+}
+
+/// Sweep execution options from the shared CLI knobs, with a progress line
+/// per finished cell on stderr.
+inline sweep::SweepOptions sweep_options_from_cli(const util::Cli& cli,
+                                                  std::string label) {
+  sweep::SweepOptions opt;
+  opt.shards = static_cast<unsigned>(cli.i64("shards", 1));
+  opt.threads_per_cell = static_cast<unsigned>(cli.i64("cell-threads", 0));
+  opt.progress = [label = std::move(label)](const sweep::CellResult& r,
+                                            std::size_t done,
+                                            std::size_t total) {
+    std::fprintf(stderr, "[%s] cell %zu done (%zu/%zu, %.2fs)\n",
+                 label.c_str(), r.index, done, total, r.wall_seconds);
+  };
+  return opt;
+}
+
+/// Dump structured results to the paths named by --csv= / --json= (if any).
+inline void emit_results(const util::Cli& cli, const sweep::SweepSpec& spec,
+                         const std::vector<sweep::CellResult>& results) {
+  if (const std::string path = cli.str("csv", ""); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    sweep::write_csv(os, results);
+    std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(), path.c_str());
+  }
+  if (const std::string path = cli.str("json", ""); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    sweep::write_json(os, spec.name, results);
+    std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(), path.c_str());
+  }
+}
+
+/// CellFactory for grids parameterized by the standard H3DFact channel
+/// knobs in Cell::params — "adc_bits", "sigma", "clip", "theta" — with the
+/// paper's operating point as the default for any knob the grid omits.
+inline resonator::ResonatorNetwork make_h3dfact_cell(
+    std::shared_ptr<const hdc::CodebookSet> set, const sweep::Cell& cell) {
+  resonator::ResonatorOptions opts;
+  opts.max_iterations = cell.config.max_iterations;
+  opts.detect_limit_cycles = false;
+  opts.record_correct_trace = cell.config.record_correct_trace;
+  opts.channel = resonator::make_h3dfact_channel(
+      cell.config.dim, static_cast<int>(cell.param("adc_bits", 4)),
+      cell.param("sigma", 0.5), cell.param("clip", 4.0),
+      cell.param("theta", 1.5));
+  return resonator::ResonatorNetwork(std::move(set), opts);
 }
 
 /// Format an iteration count with the paper's "Fail" convention: a cell

@@ -2,6 +2,9 @@
 // vs high-precision (8-bit) ADC on the similarity path. Lower precision
 // introduces quantization stochasticity that prevents the factorizer from
 // getting stuck, so it converges in fewer iterations at equal accuracy.
+//
+// Declared as a one-axis sweep over the ADC precision; --shards=2 runs the
+// two curves in parallel worker processes.
 
 #include <cstdint>
 #include <iostream>
@@ -14,33 +17,25 @@ using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
-  const std::size_t trials = static_cast<std::size_t>(cli.i64("trials", 100));
   const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 300));
-  const std::size_t M = static_cast<std::size_t>(cli.i64("m", 32));
-  const std::size_t F = static_cast<std::size_t>(cli.i64("f", 3));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 606));
 
-  auto curve = [&](int bits) {
-    resonator::TrialConfig cfg;
-    cfg.dim = dim;
-    cfg.factors = F;
-    cfg.codebook_size = M;
-    cfg.trials = trials;
-    cfg.max_iterations = cap;
-    cfg.seed = seed;
-    cfg.record_correct_trace = true;
-    cfg.factory = [bits](std::shared_ptr<const hdc::CodebookSet> s,
-                         const resonator::TrialConfig& c) {
-      return resonator::make_h3dfact(std::move(s), c, bits);
-    };
-    return resonator::run_trials(cfg);
-  };
+  sweep::SweepSpec spec;
+  spec.name = "fig6a";
+  spec.base.dim = static_cast<std::size_t>(cli.i64("dim", 1024));
+  spec.base.factors = static_cast<std::size_t>(cli.i64("f", 3));
+  spec.base.codebook_size = static_cast<std::size_t>(cli.i64("m", 32));
+  spec.base.trials = static_cast<std::size_t>(cli.i64("trials", 100));
+  spec.base.max_iterations = cap;
+  spec.base.seed = static_cast<std::uint64_t>(cli.i64("seed", 606));
+  spec.base.record_correct_trace = true;
+  spec.axes.push_back(sweep::Axis::param("adc_bits", {4, 8}));
+  spec.factory = bench::make_h3dfact_cell;
 
-  std::fprintf(stderr, "[fig6a] running 4-bit...\n");
-  auto low = curve(4);
-  std::fprintf(stderr, "[fig6a] running 8-bit...\n");
-  auto high = curve(8);
+  const auto results =
+      sweep::run_sweep(spec, bench::sweep_options_from_cli(cli, "fig6a"));
+  bench::emit_results(cli, spec, results);
+  const resonator::TrialStats& low = results[0].stats;
+  const resonator::TrialStats& high = results[1].stats;
 
   util::Table t("Fig. 6a -- Accuracy vs iteration: 4-bit (H3DFact) vs 8-bit ADC");
   t.set_header({"iteration", "4-bit acc %", "8-bit acc %"});
@@ -62,8 +57,9 @@ int main(int argc, char** argv) {
   };
   t.add_note("Iterations to 99% accuracy: 4-bit=" + it99(low) +
              ", 8-bit=" + it99(high) + " (paper: ~10 vs ~30).");
-  t.add_note("F=" + std::to_string(F) + ", M=" + std::to_string(M) +
-             ", N=" + std::to_string(dim) +
+  t.add_note("F=" + std::to_string(spec.base.factors) +
+             ", M=" + std::to_string(spec.base.codebook_size) +
+             ", N=" + std::to_string(spec.base.dim) +
              "; same Gaussian device noise in both, only ADC precision differs.");
   t.print(std::cout);
   return 0;

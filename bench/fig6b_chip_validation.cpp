@@ -4,6 +4,11 @@
 // factorization framework with the VTGT threshold retuned to the measured
 // gain, and reports one-shot accuracy and the accuracy-vs-iteration curve
 // through the full device-level CIM path.
+//
+// The factorization campaign is a one-cell sweep whose factory builds the
+// device-level CIM engine (deterministically seeded from the cell seed):
+// the trial loop, trace histograms and the one-shot readout all come from
+// the shared trial runner instead of a hand-rolled loop.
 
 #include <algorithm>
 #include <cstdint>
@@ -19,7 +24,6 @@ using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::size_t trials = static_cast<std::size_t>(cli.i64("trials", 50));
   const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 60));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 66));
 
@@ -44,61 +48,56 @@ int main(int argc, char** argv) {
   // Visual-object scale problem (small per-attribute vocabularies, as in the
   // Fig. 1a schema): one-shot accuracy is only meaningful at this scale,
   // where the first similarity read already separates the correct items.
-  const std::size_t M = static_cast<std::size_t>(cli.i64("m", 7));
-  const std::size_t F = static_cast<std::size_t>(cli.i64("f", 3));
-  auto set = std::make_shared<hdc::CodebookSet>(1024, F, M, rng);
-  cim::MacroConfig mc;
-  mc.rows = 256;
-  mc.subarrays = 4;
-  mc.adc_bits = 4;
-  mc.rram = params;
-  auto engine = std::make_shared<cim::CimMvmEngine>(set, mc, rng);
-  engine->retune_vtgt(chip.vtgt_retune_factor());
+  sweep::SweepSpec spec;
+  spec.name = "fig6b";
+  spec.base.dim = 1024;
+  spec.base.factors = static_cast<std::size_t>(cli.i64("f", 3));
+  spec.base.codebook_size = static_cast<std::size_t>(cli.i64("m", 7));
+  spec.base.trials = static_cast<std::size_t>(cli.i64("trials", 50));
+  spec.base.max_iterations = cap;
+  spec.base.seed = seed + 10;
+  spec.base.record_correct_trace = true;
+  // The modelled macros draw device noise per call; keep the sequential
+  // draw order (PR 2's batch-of-one replay guarantee applies per trial).
+  spec.base.execution = resonator::TrialExecution::kPerTrial;
 
-  resonator::ResonatorOptions opts;
-  opts.max_iterations = cap;
-  opts.detect_limit_cycles = false;
-  opts.record_correct_trace = true;
-  resonator::ResonatorNetwork net(set, engine, opts);
-  resonator::ProblemGenerator gen(set);
+  const double retune = chip.vtgt_retune_factor();
+  spec.factory = [params, retune](std::shared_ptr<const hdc::CodebookSet> set,
+                                  const sweep::Cell& cell) {
+    cim::MacroConfig mc;
+    mc.rows = 256;
+    mc.subarrays = 4;
+    mc.adc_bits = 4;
+    mc.rram = params;
+    // Programming the crossbars is stochastic: seed it from the cell seed
+    // so every worker builds the identical modelled chip.
+    util::Rng program_rng(cell.config.seed ^ 0xc1b0a7e57c41bULL);
+    auto engine = std::make_shared<cim::CimMvmEngine>(set, mc, program_rng);
+    engine->retune_vtgt(retune);
+    resonator::ResonatorOptions opts;
+    opts.max_iterations = cell.config.max_iterations;
+    opts.detect_limit_cycles = false;
+    opts.record_correct_trace = true;
+    return resonator::ResonatorNetwork(std::move(set), std::move(engine),
+                                       opts);
+  };
 
-  std::vector<std::size_t> correct_at(cap + 1, 0);
-  std::size_t one_shot = 0, solved = 0;
-  for (std::size_t i = 0; i < trials; ++i) {
-    util::Rng trial(seed + 10 + i);
-    auto p = gen.sample(trial);
-    auto r = net.run(p, trial);
-    // correct_trace[k] is the decode after iteration k (k = 0 is the
-    // pre-iteration decode); "one-shot" is the first-iteration read.
-    if (r.correct_trace.size() > 1 && r.correct_trace[1]) ++one_shot;
-    if (r.solved && p.is_correct(r.decoded)) ++solved;
-    // First iteration from which the decode stays correct.
-    std::size_t first = r.correct_trace.size();
-    for (std::size_t k = r.correct_trace.size(); k-- > 0;) {
-      if (r.correct_trace[k]) {
-        first = k;
-      } else {
-        break;
-      }
-    }
-    const bool stays = first < r.correct_trace.size() ||
-                       (r.solved && p.is_correct(r.decoded));
-    if (stays) {
-      for (std::size_t k = std::min(first, cap); k <= cap; ++k) ++correct_at[k];
-    }
-    std::fprintf(stderr, "[fig6b] trial %zu/%zu\r", i + 1, trials);
-  }
-  std::fprintf(stderr, "\n");
+  const auto results =
+      sweep::run_sweep(spec, bench::sweep_options_from_cli(cli, "fig6b"));
+  bench::emit_results(cli, spec, results);
+  const resonator::TrialStats& stats = results[0].stats;
 
   util::Table t("Fig. 6b -- Testchip-validated factorization accuracy");
   t.set_header({"iteration", "accuracy %"});
   for (std::size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 25u, 30u, 40u, 60u}) {
     if (k > cap) break;
     t.add_row({util::Table::fmt_int(static_cast<long long>(k)),
-               util::Table::fmt_pct(static_cast<double>(correct_at[k]) / trials)});
+               util::Table::fmt_pct(stats.accuracy_at(k))});
   }
+  // correct_trace[k] is the decode after iteration k; "one-shot" is the raw
+  // first-iteration read (stable or not).
   t.add_note("One-shot (first-iteration) accuracy: " +
-             util::Table::fmt_pct(static_cast<double>(one_shot) / trials) +
+             util::Table::fmt_pct(stats.accuracy_raw_at(1)) +
              " (paper: >96% one-shot, 99% after ~25 iterations).");
   t.add_note("Full device path: programming variation + read noise + per-slice "
              "4-bit ADCs in the modelled CIM macros, thresholds retuned per "

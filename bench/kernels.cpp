@@ -1,11 +1,17 @@
-// google-benchmark microbenches of the hot kernels: packed binding, codebook
-// similarity (XOR+popcount), integer projection, sign activation, the
-// device-level crossbar MVM, and the batched-vs-per-call MVM paths of the
-// batched engine. These quantify why MVMs dominate (Fig. 1c), track kernel
+// Microbenches of the hot kernels: packed binding, codebook similarity
+// (XOR+popcount), integer projection, sign activation, the device-level
+// crossbar MVM, and the batched-vs-per-call MVM paths of the batched
+// engine. These quantify why MVMs dominate (Fig. 1c), track kernel
 // regressions, and show the batched amortization (compare the *PerCall /
-// *Batch pairs at equal {M, B} arguments).
+// *Batch pairs at equal {M, B} arguments). Runs under google-benchmark
+// when the system library is present, else under the internal minibench
+// harness — kernel timings always build and run.
 
+#if defined(H3DFACT_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
+#else
+#include "minibench.hpp"
+#endif
 #include <cstdint>
 #include <memory>
 #include <vector>

@@ -1,0 +1,173 @@
+#pragma once
+// Minimal internal timer harness: a drop-in for the subset of the
+// google-benchmark API the kernel benches use (State ranges, the range-for
+// iteration protocol, DoNotOptimize, BENCHMARK()->Arg/Args registration,
+// BENCHMARK_MAIN). Used when the system google-benchmark is absent, so
+// kernel timings always build and run instead of being silently skipped.
+// Methodology: each benchmark runs for >= H3DFACT_MINIBENCH_MIN_MS
+// milliseconds (default 100) with a geometrically growing iteration probe,
+// then reports ns/op and items/s. No statistical repetitions — this is a
+// regression thermometer, not a paper instrument.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  explicit State(std::vector<std::int64_t> args, double min_seconds)
+      : args_(std::move(args)), min_seconds_(min_seconds) {}
+
+  [[nodiscard]] std::int64_t range(std::size_t i = 0) const {
+    return args_.at(i);
+  }
+  void SetItemsProcessed(std::int64_t n) { items_processed_ = n; }
+
+  // Range-for protocol: `for (auto _ : state)` runs until enough time has
+  // elapsed. The sentinel comparison performs the bookkeeping. The value
+  // type has a user-provided destructor so the conventionally-unused `_`
+  // binding cannot trip -Wunused-variable.
+  struct Sentinel {};
+  struct Tick {
+    ~Tick() {}  // NOLINT(modernize-use-equals-default)
+  };
+  struct Iterator {
+    State* state;
+    bool operator!=(Sentinel) { return state->keep_running(); }
+    void operator++() {}
+    Tick operator*() const { return {}; }
+  };
+  Iterator begin() {
+    iterations_ = 0;
+    next_check_ = 16;
+    start_ = Clock::now();
+    return Iterator{this};
+  }
+  static Sentinel end() { return {}; }
+
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_; }
+  [[nodiscard]] std::int64_t items_processed() const {
+    return items_processed_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool keep_running() {
+    if (iterations_ < next_check_) {
+      ++iterations_;
+      return true;
+    }
+    elapsed_ = std::chrono::duration<double>(Clock::now() - start_).count();
+    if (elapsed_ >= min_seconds_) return false;
+    next_check_ *= 2;
+    ++iterations_;
+    return true;
+  }
+
+  std::vector<std::int64_t> args_;
+  double min_seconds_;
+  std::size_t iterations_ = 0;
+  std::size_t next_check_ = 16;
+  double elapsed_ = 0.0;
+  std::int64_t items_processed_ = 0;
+  Clock::time_point start_{};
+};
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(&value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+namespace internal {
+
+struct Benchmark {
+  std::string name;
+  std::function<void(State&)> fn;
+  std::vector<std::vector<std::int64_t>> arg_sets;
+
+  Benchmark* Arg(std::int64_t a) {
+    arg_sets.push_back({a});
+    return this;
+  }
+  Benchmark* Args(std::vector<std::int64_t> args) {
+    arg_sets.push_back(std::move(args));
+    return this;
+  }
+};
+
+inline std::vector<Benchmark>& registry() {
+  static std::vector<Benchmark> benches;
+  return benches;
+}
+
+inline Benchmark* register_benchmark(const char* name,
+                                     void (*fn)(State&)) {
+  registry().push_back(Benchmark{name, fn, {}});
+  return &registry().back();
+}
+
+inline double min_seconds() {
+  if (const char* ms = std::getenv("H3DFACT_MINIBENCH_MIN_MS")) {
+    return std::max(1.0, std::atof(ms)) * 1e-3;
+  }
+  return 0.1;
+}
+
+inline int run_all() {
+  std::printf("%-40s %15s %12s %15s\n", "benchmark (minibench fallback)",
+              "iterations", "ns/op", "items/s");
+  const double min_s = min_seconds();
+  for (Benchmark& bench : registry()) {
+    std::vector<std::vector<std::int64_t>> arg_sets = bench.arg_sets;
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      std::string name = bench.name;
+      for (std::int64_t a : args) name += "/" + std::to_string(a);
+      State state(args, min_s);
+      bench.fn(state);
+      const double secs = state.elapsed_seconds();
+      const auto iters = static_cast<double>(std::max<std::size_t>(
+          1, state.iterations()));
+      std::printf("%-40s %15zu %12.1f", name.c_str(), state.iterations(),
+                  1e9 * secs / iters);
+      if (state.items_processed() > 0) {
+        // items_processed is per the whole timing loop in the gbench
+        // convention used by kernels.cpp (iterations * per-iter items).
+        std::printf(" %15.3g", static_cast<double>(state.items_processed()) /
+                                   std::max(secs, 1e-12));
+      } else {
+        std::printf(" %15s", "-");
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace internal
+}  // namespace benchmark
+
+#define H3DFACT_MINIBENCH_CONCAT2(a, b) a##b
+#define H3DFACT_MINIBENCH_CONCAT(a, b) H3DFACT_MINIBENCH_CONCAT2(a, b)
+#define BENCHMARK(fn)                                            \
+  static ::benchmark::internal::Benchmark*                       \
+      H3DFACT_MINIBENCH_CONCAT(minibench_reg_, __LINE__) =       \
+          ::benchmark::internal::register_benchmark(#fn, fn)
+#define BENCHMARK_MAIN() \
+  int main() { return ::benchmark::internal::run_all(); }

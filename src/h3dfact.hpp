@@ -5,6 +5,7 @@
 //   util        — PRNG, statistics, tables, CLI
 //   hdc         — bipolar hypervector algebra, codebooks, item memory
 //   resonator   — baseline + stochastic resonator networks, channels, trials
+//   sweep       — declarative experiment grids, sharded runner, emitters
 //   device      — RRAM / PCM / ADC / sense-path / SRAM behavioural models
 //   cim         — crossbars, CIM macros, hardware-in-the-loop MVM engine
 //   arch        — tiers, TSVs, designs, batch scheduler, full-chip facade
@@ -31,6 +32,10 @@
 #include "resonator/profiler.hpp"
 #include "resonator/resonator.hpp"
 #include "resonator/trial_runner.hpp"
+
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 
 #include "device/adc.hpp"
 #include "device/pcm_cell.hpp"

@@ -8,8 +8,9 @@
 #include <string>
 #include <vector>
 
-// The batched kernels runtime-dispatch onto AVX2 where the CPU supports it;
-// the build itself stays at the baseline ISA so the binaries remain portable.
+// Both the per-call and the batched kernels runtime-dispatch onto AVX2 where
+// the CPU supports it; the build itself stays at the baseline ISA so the
+// binaries remain portable.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define H3DFACT_X86_DISPATCH 1
 #include <immintrin.h>
@@ -153,9 +154,7 @@ std::vector<int> Codebook::similarity(const BipolarVector& u) const {
   const std::uint64_t* uw = u.data();
   const std::size_t nw = u.words();
   for (std::size_t m = 0; m < vectors_.size(); ++m) {
-    const std::uint64_t* xw = vectors_[m].data();
-    long long disagree = 0;
-    for (std::size_t w = 0; w < nw; ++w) disagree += std::popcount(uw[w] ^ xw[w]);
+    const long long disagree = xor_popcount(uw, vectors_[m].data(), nw);
     a[m] = static_cast<int>(static_cast<long long>(dim_) - 2 * disagree);
   }
   return a;
@@ -169,9 +168,7 @@ std::vector<int> Codebook::project(const std::vector<int>& coeffs) const {
   for (std::size_t m = 0; m < vectors_.size(); ++m) {
     const int a = coeffs[m];
     if (a == 0) continue;
-    const std::int8_t* row = dense_.data() + m * dim_;
-    int* out = y.data();
-    for (std::size_t d = 0; d < dim_; ++d) out[d] += a * row[d];
+    axpy_row(a, dense_.data() + m * dim_, y.data(), dim_);
   }
   return y;
 }

@@ -23,7 +23,6 @@ BatchedFactorizer::BatchedFactorizer(
     throw std::invalid_argument(
         "batched factorizer needs a non-empty codebook set");
   }
-  options_.update = UpdateMode::kSynchronous;
 }
 
 BatchedFactorizer::BatchedFactorizer(
@@ -37,7 +36,6 @@ BatchedFactorizer::BatchedFactorizer(
         "batched factorizer needs a non-empty codebook set");
   }
   if (!engine_) throw std::invalid_argument("null MVM engine");
-  options_.update = UpdateMode::kSynchronous;
 }
 
 std::vector<ResonatorResult> BatchedFactorizer::run(
@@ -102,25 +100,32 @@ std::vector<ResonatorResult> BatchedFactorizer::run(
   std::vector<std::size_t> active(N);
   for (std::size_t b = 0; b < N; ++b) active[b] = b;
 
+  const bool synchronous = options_.update == UpdateMode::kSynchronous;
   std::vector<hdc::BipolarVector> us;
   std::vector<std::size_t> next_active;
   for (std::size_t t = 1; t <= options_.max_iterations && !active.empty();
        ++t) {
-    // Synchronous snapshot: every factor of every problem reads this.
+    // Synchronous snapshot: every factor of every problem reads this. The
+    // asynchronous schedule instead reads the live per-problem state, which
+    // still batches — the lockstep is across problems, not within one.
     std::vector<std::vector<hdc::BipolarVector>> prev;
     std::vector<hdc::BipolarVector> P_read;
-    prev.reserve(active.size());
-    P_read.reserve(active.size());
-    for (const std::size_t b : active) {
-      prev.push_back(est[b]);
-      P_read.push_back(P[b]);
+    if (synchronous) {
+      prev.reserve(active.size());
+      P_read.reserve(active.size());
+      for (const std::size_t b : active) {
+        prev.push_back(est[b]);
+        P_read.push_back(P[b]);
+      }
     }
 
     for (std::size_t f = 0; f < F; ++f) {
       us.clear();
       us.reserve(active.size());
       for (std::size_t idx = 0; idx < active.size(); ++idx) {
-        us.push_back(P_read[idx].bind(prev[idx][f]));
+        us.push_back(synchronous
+                         ? P_read[idx].bind(prev[idx][f])
+                         : P[active[idx]].bind(est[active[idx]][f]));
       }
 
       // One batched similarity pass for this factor across the whole batch.

@@ -7,12 +7,16 @@
 // (CimMvmEngine) across the batch — the hot path of every figure/table
 // bench sweep.
 //
-// The update schedule is forced synchronous: within an iteration every
-// factor of every problem reads the previous iteration's state, which is
-// what makes the per-factor MVMs of independent problems batchable. On a
-// deterministic engine (ExactMvmEngine) each problem's trajectory is
-// bit-for-bit identical to running ResonatorNetwork::run in synchronous
-// mode with the same per-problem RNG.
+// Both update schedules batch: problems are mutually independent, so at
+// step (iteration t, factor f) the MVMs of all problems are issuable as one
+// engine pass regardless of schedule. kSynchronous reads every factor
+// against the previous iteration's snapshot; kAsynchronous reads the
+// freshest per-problem state, exactly like a standalone run. On an engine
+// without per-call randomness (ExactMvmEngine) each problem's trajectory is
+// bit-for-bit identical to running ResonatorNetwork::run in the same update
+// mode with the same per-problem RNG — which is what lets run_trials and
+// the sweep runner drive their trial blocks through this front-end without
+// changing a single reported statistic.
 
 #include <cstdint>
 #include <memory>
@@ -38,7 +42,7 @@ class BatchedFactorizer {
                     std::shared_ptr<MvmEngine> engine,
                     ResonatorOptions options);
 
-  /// Options after construction (update mode is forced kSynchronous).
+  /// Options after construction (the update mode is honored as given).
   [[nodiscard]] const ResonatorOptions& options() const { return options_; }
   [[nodiscard]] const hdc::CodebookSet& codebooks() const { return *set_; }
 

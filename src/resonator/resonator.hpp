@@ -142,6 +142,11 @@ class ResonatorNetwork {
 
   [[nodiscard]] const ResonatorOptions& options() const { return options_; }
   [[nodiscard]] const hdc::CodebookSet& codebooks() const { return *set_; }
+  /// The MVM engine this network drives (shared so a BatchedFactorizer can
+  /// fan a whole trial block through the same engine in lockstep).
+  [[nodiscard]] const std::shared_ptr<MvmEngine>& engine() const {
+    return engine_;
+  }
 
   /// Factorize one problem instance. `rng` drives all stochastic elements.
   [[nodiscard]] ResonatorResult run(const FactorizationProblem& problem,

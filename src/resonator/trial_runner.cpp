@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "resonator/batched.hpp"
+
 namespace h3dfact::resonator {
 
 namespace {
@@ -63,6 +65,87 @@ double TrialStats::accuracy_at(std::size_t k) const {
          static_cast<double>(trials);
 }
 
+double TrialStats::accuracy_raw_at(std::size_t k) const {
+  if (trials == 0 || correct_raw_by_iteration.empty()) return 0.0;
+  const std::size_t idx = std::min(k, correct_raw_by_iteration.size() - 1);
+  return static_cast<double>(correct_raw_by_iteration[idx]) /
+         static_cast<double>(trials);
+}
+
+void TrialStats::accumulate(const ResonatorResult& result, bool correct_decode,
+                            std::size_t max_iterations) {
+  ++trials;
+  if (result.solved) {
+    ++solved;
+    iterations_solved.add(static_cast<double>(result.iterations));
+    iteration_samples.push_back(static_cast<double>(result.iterations));
+  }
+  if (correct_decode) ++correct;
+  if (result.cycle) ++cycles;
+
+  const auto& trace = result.correct_trace;
+  if (trace.empty()) return;
+  if (correct_by_iteration.empty()) {
+    correct_by_iteration.assign(max_iterations + 1, 0);
+    correct_raw_by_iteration.assign(max_iterations + 1, 0);
+  }
+
+  // Raw histogram: the decode AT iteration k. A run that stopped early
+  // keeps its final decode, so the last trace entry extends to the cap.
+  for (std::size_t k = 0; k <= max_iterations; ++k) {
+    const bool at_k = k < trace.size() ? trace[k] != 0 : trace.back() != 0;
+    if (at_k) ++correct_raw_by_iteration[k];
+  }
+
+  // Cumulative histogram: correct_trace[i] == decode correctness after
+  // iteration i, with i == 0 the pre-iteration decode of the initial state;
+  // count from the first index whose whole suffix stays correct.
+  std::size_t first_stable = trace.size();  // sentinel: never stable
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    if (trace[i]) {
+      first_stable = i;
+    } else {
+      break;
+    }
+  }
+  // A solved-and-correct run stays correct after it stops early.
+  if (first_stable < trace.size() || (result.solved && correct_decode)) {
+    const std::size_t from = std::min(first_stable, max_iterations);
+    for (std::size_t k = from; k <= max_iterations; ++k) {
+      ++correct_by_iteration[k];
+    }
+  }
+}
+
+void TrialStats::merge_block(const TrialStats& later) {
+  trials += later.trials;
+  solved += later.solved;
+  correct += later.correct;
+  cycles += later.cycles;
+  // Re-accumulate instead of Welford-merging: sequential add() over the
+  // concatenated sample sequence makes the result independent of how the
+  // trial range was partitioned, down to the last floating-point bit.
+  for (double x : later.iteration_samples) iterations_solved.add(x);
+  iteration_samples.insert(iteration_samples.end(),
+                           later.iteration_samples.begin(),
+                           later.iteration_samples.end());
+  if (!later.correct_by_iteration.empty()) {
+    if (correct_by_iteration.empty()) {
+      correct_by_iteration.assign(later.correct_by_iteration.size(), 0);
+      correct_raw_by_iteration.assign(later.correct_raw_by_iteration.size(),
+                                      0);
+    }
+    if (correct_by_iteration.size() != later.correct_by_iteration.size()) {
+      throw std::invalid_argument(
+          "merge_block: trace histogram sizes disagree (different caps?)");
+    }
+    for (std::size_t k = 0; k < correct_by_iteration.size(); ++k) {
+      correct_by_iteration[k] += later.correct_by_iteration[k];
+      correct_raw_by_iteration[k] += later.correct_raw_by_iteration[k];
+    }
+  }
+}
+
 ResonatorNetwork make_baseline(std::shared_ptr<const hdc::CodebookSet> set,
                                const TrialConfig& config) {
   ResonatorOptions opts;
@@ -83,11 +166,20 @@ ResonatorNetwork make_h3dfact(std::shared_ptr<const hdc::CodebookSet> set,
   return ResonatorNetwork(std::move(set), opts);
 }
 
-TrialStats run_trials(const TrialConfig& config, bool record_traces) {
+TrialStats run_trials(const TrialConfig& config) {
   if (config.trials == 0) throw std::invalid_argument("zero trials");
+  return run_trial_block(config, 0, config.trials);
+}
 
-  TrialConfig cfg = config;
-  cfg.record_correct_trace = config.record_correct_trace || record_traces;
+TrialStats run_trial_block(const TrialConfig& config, std::size_t begin,
+                           std::size_t end) {
+  if (begin >= end || end > config.trials) {
+    throw std::invalid_argument("bad trial block range");
+  }
+  if (begin % kTrialBlockAlign != 0) {
+    throw std::invalid_argument("trial block must start on a chunk boundary");
+  }
+  const TrialConfig& cfg = config;
   const bool traces = cfg.record_correct_trace;
 
   util::Rng master(cfg.seed);
@@ -103,22 +195,36 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
     };
   }
 
+  // Chunk indices are absolute (trial t lives in chunk t / align), so a
+  // partial block reproduces exactly the chunks a full run would execute
+  // over the same trials.
+  const std::size_t chunk0 = begin / kTrialBlockAlign;
+  const std::size_t chunk_end = (end + kTrialBlockAlign - 1) / kTrialBlockAlign;
+  const std::size_t nchunks = chunk_end - chunk0;
   unsigned nthreads = cfg.threads;
   if (nthreads == 0) {
     nthreads = std::max(1u, std::thread::hardware_concurrency());
   }
-  nthreads = static_cast<unsigned>(
-      std::min<std::size_t>(nthreads, cfg.trials));
+  nthreads = static_cast<unsigned>(std::min<std::size_t>(nthreads, nchunks));
 
-  TrialStats total;
-  total.trials = cfg.trials;
-  if (traces) {
-    total.correct_by_iteration.assign(cfg.max_iterations + 1, 0);
-  }
-
-  std::mutex merge_mutex;
-  std::atomic<std::size_t> next_trial{0};
+  // Per-chunk partial statistics, merged in chunk order after the join, so
+  // the aggregate is a pure function of (config, block range).
+  std::vector<TrialStats> chunk_stats(nchunks);
+  std::atomic<std::size_t> next_chunk{0};
+  std::mutex error_mutex;
   std::exception_ptr worker_error;
+
+  // Per-trial streams derive from (seed, trial index) alone; the chunk's
+  // engine-randomness stream derives from (seed, chunk index) alone.
+  auto trial_rng = [&](std::size_t t) {
+    return util::Rng(cfg.seed ^
+                     (0xabcdef12345ULL + t * 0x9e3779b97f4a7c15ULL));
+  };
+  auto device_rng_for = [&](std::size_t c) {
+    std::uint64_t stream =
+        cfg.seed ^ (0xd1ceb004c0ffee11ULL + c * 0x9e3779b97f4a7c15ULL);
+    return util::Rng(util::splitmix64(stream));
+  };
 
   auto worker = [&]() {
     // The factory receives the config, so the network it builds already
@@ -129,64 +235,50 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
           "record_correct_trace requested but the factory built a network "
           "without ResonatorOptions::record_correct_trace");
     }
-
-    TrialStats local;
-    std::vector<std::size_t> local_correct_hist;
-    if (traces) local_correct_hist.assign(cfg.max_iterations + 1, 0);
-
-    for (;;) {
-      const std::size_t t = next_trial.fetch_add(1);
-      if (t >= cfg.trials) break;
-      util::Rng trial_rng(cfg.seed ^ (0xabcdef12345ULL + t * 0x9e3779b97f4a7c15ULL));
-      FactorizationProblem problem =
-          cfg.query_flip_prob > 0.0
-              ? generator->sample_noisy(cfg.query_flip_prob, trial_rng)
-              : generator->sample(trial_rng);
-
-      ResonatorResult r = net.run(problem, trial_rng);
-      const bool correct = problem.is_correct(r.decoded);
-      if (r.solved) {
-        ++local.solved;
-        local.iterations_solved.add(static_cast<double>(r.iterations));
-        local.iteration_samples.push_back(static_cast<double>(r.iterations));
-      }
-      if (correct) ++local.correct;
-      if (r.cycle) ++local.cycles;
-      if (traces) {
-        // correct_trace[i] == decode correctness after iteration i, with
-        // i == 0 the pre-iteration decode of the initial state; count from
-        // the first index whose whole suffix stays correct.
-        const auto& trace = r.correct_trace;
-        std::size_t first_stable = trace.size();  // sentinel: never stable
-        for (std::size_t i = trace.size(); i-- > 0;) {
-          if (trace[i]) {
-            first_stable = i;
-          } else {
-            break;
-          }
-        }
-        // A solved-and-correct run stays correct after it stops early.
-        if (first_stable < trace.size() || (r.solved && correct)) {
-          const std::size_t from = std::min(first_stable, cfg.max_iterations);
-          for (std::size_t k = from; k <= cfg.max_iterations; ++k) {
-            ++local_correct_hist[k];
-          }
-        }
-      }
+    const bool batched = cfg.execution == TrialExecution::kBatched;
+    std::unique_ptr<BatchedFactorizer> block_runner;
+    if (batched) {
+      block_runner = std::make_unique<BatchedFactorizer>(set, net.engine(),
+                                                         net.options());
     }
 
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    total.solved += local.solved;
-    total.correct += local.correct;
-    total.cycles += local.cycles;
-    total.iterations_solved.merge(local.iterations_solved);
-    total.iteration_samples.insert(total.iteration_samples.end(),
-                                   local.iteration_samples.begin(),
-                                   local.iteration_samples.end());
-    if (traces) {
-      for (std::size_t k = 0; k < local_correct_hist.size(); ++k) {
-        total.correct_by_iteration[k] += local_correct_hist[k];
+    for (;;) {
+      const std::size_t slot = next_chunk.fetch_add(1);
+      if (slot >= nchunks) break;
+      const std::size_t c = chunk0 + slot;
+      const std::size_t t0 = std::max(begin, c * kTrialBlockAlign);
+      const std::size_t t1 = std::min(c * kTrialBlockAlign + kTrialBlockAlign,
+                                      end);
+
+      std::vector<FactorizationProblem> problems;
+      std::vector<util::Rng> rngs;
+      problems.reserve(t1 - t0);
+      rngs.reserve(t1 - t0);
+      for (std::size_t t = t0; t < t1; ++t) {
+        util::Rng r = trial_rng(t);
+        problems.push_back(cfg.query_flip_prob > 0.0
+                               ? generator->sample_noisy(cfg.query_flip_prob, r)
+                               : generator->sample(r));
+        rngs.push_back(r);  // post-sampling state, as a standalone run sees it
       }
+
+      TrialStats local;
+      if (batched) {
+        util::Rng device_rng = device_rng_for(c);
+        auto results = block_runner->run(problems, rngs, device_rng);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          local.accumulate(results[i],
+                           problems[i].is_correct(results[i].decoded),
+                           cfg.max_iterations);
+        }
+      } else {
+        for (std::size_t i = 0; i < problems.size(); ++i) {
+          ResonatorResult r = net.run(problems[i], rngs[i]);
+          local.accumulate(r, problems[i].is_correct(r.decoded),
+                           cfg.max_iterations);
+        }
+      }
+      chunk_stats[slot] = std::move(local);
     }
   };
 
@@ -194,7 +286,7 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
     try {
       worker();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(merge_mutex);
+      std::lock_guard<std::mutex> lock(error_mutex);
       if (!worker_error) worker_error = std::current_exception();
     }
   };
@@ -208,6 +300,13 @@ TrialStats run_trials(const TrialConfig& config, bool record_traces) {
     for (auto& th : pool) th.join();
     if (worker_error) std::rethrow_exception(worker_error);
   }
+
+  TrialStats total;
+  if (traces) {
+    total.correct_by_iteration.assign(cfg.max_iterations + 1, 0);
+    total.correct_raw_by_iteration.assign(cfg.max_iterations + 1, 0);
+  }
+  for (const TrialStats& part : chunk_stats) total.merge_block(part);
   return total;
 }
 

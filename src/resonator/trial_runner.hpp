@@ -2,6 +2,11 @@
 // Multi-trial experiment harness: runs many independent factorization trials
 // (optionally in parallel) and aggregates the statistics reported in
 // Table II, Fig. 6a/6b and the ablation benches.
+//
+// run_trials is the one-cell special case of the sweep subsystem
+// (src/sweep): a sweep cell IS a TrialConfig, and the sweep runner executes
+// every cell through this harness, so sequential run_trials and a sharded
+// sweep produce bit-identical per-cell statistics by construction.
 
 #include <cstdint>
 #include <functional>
@@ -13,6 +18,22 @@
 
 namespace h3dfact::resonator {
 
+struct TrialConfig;
+
+/// How the trial block is driven through the MVM engine.
+enum class TrialExecution {
+  /// Default: trials run in lockstep blocks through a BatchedFactorizer
+  /// sharing one engine, so every similarity/projection is a batched engine
+  /// pass. Bit-identical to kPerTrial on engines without per-call
+  /// randomness (ExactMvmEngine — all channel/tie-break draws come from the
+  /// per-trial generator either way).
+  kBatched,
+  /// One ResonatorNetwork::run per trial. Use for engines whose per-call
+  /// RNG draw order matters (e.g. cim::CimMvmEngine device noise replayed
+  /// draw-for-draw); statistically equivalent to kBatched.
+  kPerTrial,
+};
+
 /// Experiment configuration.
 struct TrialConfig {
   std::size_t dim = 1024;        ///< hypervector dimension D
@@ -23,6 +44,7 @@ struct TrialConfig {
   double query_flip_prob = 0.0;  ///< query noise (perceptual frontend)
   std::uint64_t seed = 1;
   unsigned threads = 0;          ///< 0 = hardware concurrency
+  TrialExecution execution = TrialExecution::kBatched;
   /// Record per-iteration correctness traces (accuracy-vs-iteration curves,
   /// Fig. 6a/6b). Threaded through the factory: the network it builds must
   /// have ResonatorOptions::record_correct_trace set accordingly — the
@@ -45,6 +67,11 @@ struct TrialStats {
   util::RunningStats iterations_solved;  ///< iterations among solved trials
   std::vector<double> iteration_samples; ///< per-solved-trial iteration counts
   std::vector<std::size_t> correct_by_iteration;  ///< trace histogram (opt-in)
+  /// Raw (non-cumulative) trace histogram: trials whose decode was correct
+  /// AT iteration k, whether or not it stayed correct (opt-in alongside
+  /// correct_by_iteration). Entry 0 is the pre-iteration decode; entry 1 is
+  /// the paper's "one-shot" readout (Fig. 6b).
+  std::vector<std::size_t> correct_raw_by_iteration;
 
   [[nodiscard]] double accuracy() const {
     return trials ? static_cast<double>(correct) / static_cast<double>(trials) : 0.0;
@@ -67,19 +94,53 @@ struct TrialStats {
   [[nodiscard]] double iterations_quantile_solved(double q) const;
   /// Median iterations among solved trials (-1 if none solved).
   [[nodiscard]] double median_iterations() const;
-  /// Accuracy after exactly k iterations (requires trace recording).
-  /// k = 0 is the pre-iteration accuracy: the fraction of trials whose
-  /// initial-state decode was already correct and stayed correct.
+  /// Accuracy after exactly k iterations, counting only trials whose decode
+  /// stayed correct from k on (requires trace recording). k = 0 is the
+  /// pre-iteration accuracy of the initial-state decode.
   [[nodiscard]] double accuracy_at(std::size_t k) const;
+  /// Fraction of trials whose decode read correct AT iteration k, stable or
+  /// not (requires trace recording). accuracy_raw_at(1) is the "one-shot"
+  /// accuracy of Fig. 6b.
+  [[nodiscard]] double accuracy_raw_at(std::size_t k) const;
+
+  /// Fold one trial outcome into the aggregate. `correct` is the
+  /// ground-truth check of `result.decoded`; `max_iterations` sizes the
+  /// trace histograms (which must be pre-assigned when traces are on).
+  void accumulate(const ResonatorResult& result, bool correct,
+                  std::size_t max_iterations);
+
+  /// Fold in the partial aggregate of a LATER contiguous trial block (the
+  /// sweep shards split one cell's trials this way). Blocks must be merged
+  /// in ascending trial order; iterations_solved is re-accumulated sample
+  /// by sample, so the result is bit-identical to a single run over the
+  /// union no matter how the range was partitioned.
+  void merge_block(const TrialStats& later);
 };
 
-/// Run the experiment described by `config`.
-/// The deprecated `record_traces` parameter ORs into
-/// `config.record_correct_trace` (prefer setting the config field). When
-/// traces are requested the factory must build a network that records them
-/// (std::invalid_argument otherwise — the runner no longer rebuilds
-/// networks behind the factory's back).
-TrialStats run_trials(const TrialConfig& config, bool record_traces = false);
+/// Trial-block alignment: run_trials executes trials in lockstep chunks of
+/// this many problems, and sharded partial runs may only split on chunk
+/// boundaries. Part of the determinism contract — per-chunk engine RNG
+/// streams are keyed by (seed, chunk index) — so it is a fixed constant,
+/// not a knob.
+inline constexpr std::size_t kTrialBlockAlign = 4;
+
+/// Run the experiment described by `config`. When traces are requested the
+/// factory must build a network that records them (std::invalid_argument
+/// otherwise — the runner never rebuilds networks behind the factory's
+/// back). Deterministic for a given config: results are independent of the
+/// thread count AND identical field-for-field (including sample order)
+/// across thread counts and execution modes on engines without per-call
+/// randomness.
+TrialStats run_trials(const TrialConfig& config);
+
+/// Run only trials [begin, end) of the config — the sweep shards' unit of
+/// work. `begin` must be a multiple of kTrialBlockAlign and end <= trials.
+/// Merging the blocks of a partition of [0, trials) with
+/// TrialStats::merge_block (ascending) reproduces run_trials(config)
+/// exactly: every per-trial stream derives from (seed, trial index) and
+/// every per-chunk engine stream from (seed, chunk index) alone.
+TrialStats run_trial_block(const TrialConfig& config, std::size_t begin,
+                           std::size_t end);
 
 /// Deterministic baseline factorizer honoring the config's iteration cap
 /// and trace opt-in — the default TrialConfig::factory.

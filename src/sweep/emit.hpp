@@ -1,0 +1,33 @@
+#pragma once
+// Structured result emitters (the sweep subsystem, part 3 of 3).
+//
+// CellResults serialize to RFC-4180 CSV (one row per cell; axis coordinate
+// and parameter columns come before the fixed statistics block, per-cell
+// metadata after it) and to pretty-printed JSON (one object per cell with
+// coordinates/params/config/stats subobjects). Both formats are stable,
+// golden-file-tested renderings: a sweep re-run with the same spec emits
+// byte-identical files apart from the wall-clock fields.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "sweep/runner.hpp"
+
+namespace h3dfact::sweep {
+
+/// CSV, one row per cell. Columns: cell index, one column per axis (order
+/// of first appearance), one per parameter (sorted), the config echo and
+/// statistics, wall seconds, then one column per metadata key (sorted).
+void write_csv(std::ostream& os, std::span<const CellResult> results);
+
+/// JSON document {"sweep": name, "cells": [...]}.
+void write_json(std::ostream& os, const std::string& sweep_name,
+                std::span<const CellResult> results);
+
+/// String conveniences (tests, logging).
+std::string csv_string(std::span<const CellResult> results);
+std::string json_string(const std::string& sweep_name,
+                        std::span<const CellResult> results);
+
+}  // namespace h3dfact::sweep

@@ -1,0 +1,684 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#if !defined(_WIN32)
+#define H3DFACT_SWEEP_HAS_FORK 1
+#include <poll.h>
+#include <signal.h>  // NOLINT(modernize-deprecated-headers) — POSIX kill()
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace h3dfact::sweep {
+
+namespace {
+
+// --- work decomposition ----------------------------------------------------
+// The unit of work is a contiguous, chunk-aligned block of one cell's
+// trials, so a single heavy cell (Table II's F=3/M=512 point is ~60% of the
+// default grid's compute) spreads across shards instead of serializing the
+// tail. Blocks merge with TrialStats::merge_block, which is partition-
+// invariant by construction.
+
+struct Task {
+  std::size_t cell = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  double cost = 0.0;  ///< crude estimate for longest-first scheduling
+};
+
+std::vector<Task> build_tasks(const SweepSpec& spec, std::size_t total,
+                              unsigned shards) {
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < total; ++i) {
+    const Cell cell = spec.cell(i);
+    const std::size_t trials = cell.config.trials;
+    const std::size_t align = resonator::kTrialBlockAlign;
+    const std::size_t nchunks = (trials + align - 1) / align;
+    const std::size_t pieces =
+        std::max<std::size_t>(1, std::min<std::size_t>(shards, nchunks));
+    // Distribute chunks as evenly as possible over the pieces.
+    const std::size_t q = nchunks / pieces;
+    const std::size_t r = nchunks % pieces;
+    std::size_t chunk = 0;
+    for (std::size_t p = 0; p < pieces; ++p) {
+      const std::size_t take = q + (p < r ? 1 : 0);
+      Task t;
+      t.cell = i;
+      t.begin = chunk * align;
+      chunk += take;
+      t.end = std::min(chunk * align, trials);
+      if (trials == 0) t.end = 0;  // poison cell: one task that reports it
+      t.cost = static_cast<double>(t.end - t.begin) *
+               static_cast<double>(cell.config.max_iterations) *
+               static_cast<double>(cell.config.codebook_size) *
+               static_cast<double>(cell.config.factors);
+      tasks.push_back(t);
+      if (trials == 0) break;
+    }
+  }
+  // Longest-first: with the dynamic queue this approximates LPT scheduling,
+  // so the heavy blocks start immediately instead of anchoring the tail.
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const Task& a, const Task& b) { return a.cost > b.cost; });
+  return tasks;
+}
+
+// Execute one task in the calling process.
+CellResult run_cell_block(const SweepSpec& spec, const Task& task,
+                          unsigned threads_override) {
+  Cell cell = spec.cell(task.cell);
+  if (threads_override != 0) cell.config.threads = threads_override;
+  if (spec.factory) {
+    // The factory sees the resolved cell; snapshot it BEFORE installing the
+    // closure so the capture cannot reference itself.
+    auto snapshot = std::make_shared<const Cell>(cell);
+    CellFactory cell_factory = spec.factory;
+    cell.config.factory =
+        [cell_factory, snapshot](std::shared_ptr<const hdc::CodebookSet> set,
+                                 const resonator::TrialConfig&) {
+          return cell_factory(std::move(set), *snapshot);
+        };
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  resonator::TrialStats stats =
+      resonator::run_trial_block(cell.config, task.begin, task.end);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  CellResult r;
+  r.index = cell.index;
+  r.coordinates = std::move(cell.coordinates);
+  r.params = std::move(cell.params);
+  r.meta = std::move(cell.meta);
+  r.dim = cell.config.dim;
+  r.factors = cell.config.factors;
+  r.codebook_size = cell.config.codebook_size;
+  r.trials = cell.config.trials;
+  r.max_iterations = cell.config.max_iterations;
+  r.query_flip_prob = cell.config.query_flip_prob;
+  r.seed = cell.config.seed;
+  r.stats = std::move(stats);
+  r.wall_seconds = elapsed.count();
+  return r;
+}
+
+// Reassembles cells from their trial-block partials, merged in ascending
+// block order so the statistics equal an unsharded run bit for bit.
+class CellAssembler {
+ public:
+  CellAssembler(const SweepSpec& spec, std::size_t total) {
+    expected_.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      expected_.push_back(spec.cell(i).config.trials);
+    }
+  }
+
+  /// Add one partial; returns the completed cell once all blocks arrived.
+  std::optional<CellResult> add(std::size_t begin, CellResult partial) {
+    const std::size_t cell = partial.index;
+    auto& parts = pending_[cell];
+    parts.emplace_back(begin, std::move(partial));
+    std::size_t have = 0;
+    for (const auto& [b, p] : parts) have += p.stats.trials;
+    if (have < expected_[cell]) return std::nullopt;
+    std::sort(parts.begin(), parts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    CellResult out = std::move(parts.front().second);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      out.stats.merge_block(parts[i].second.stats);
+      out.wall_seconds += parts[i].second.wall_seconds;
+    }
+    pending_.erase(cell);
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> expected_;
+  std::map<std::size_t, std::vector<std::pair<std::size_t, CellResult>>>
+      pending_;
+};
+
+// --- result wire format ----------------------------------------------------
+// Results cross the shard pipes as length-framed little-endian records:
+//   [u8 kind][u64 payload bytes][payload]
+// kind 0 = cell-block result (payload: u64 block begin + CellResult dump),
+// kind 1 = worker error (payload is the what() string). The payload is a
+// flat field dump; both ends live in one binary, so no versioning concern.
+
+constexpr std::uint8_t kMsgResult = 0;
+constexpr std::uint8_t kMsgError = 1;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+struct Reader {
+  const char* data;
+  std::size_t len;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > len) {
+      throw std::runtime_error("truncated sweep result message");
+    }
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+               data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::size_t n = static_cast<std::size_t>(u64());
+    need(n);
+    std::string s(data + pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+std::string encode_result(std::size_t block_begin, const CellResult& r) {
+  std::string out;
+  put_u64(out, block_begin);
+  put_u64(out, r.index);
+  put_u64(out, r.coordinates.size());
+  for (const auto& [axis, label] : r.coordinates) {
+    put_str(out, axis);
+    put_str(out, label);
+  }
+  put_u64(out, r.params.size());
+  for (const auto& [k, v] : r.params) {
+    put_str(out, k);
+    put_f64(out, v);
+  }
+  put_u64(out, r.meta.size());
+  for (const auto& [k, v] : r.meta) {
+    put_str(out, k);
+    put_str(out, v);
+  }
+  put_u64(out, r.dim);
+  put_u64(out, r.factors);
+  put_u64(out, r.codebook_size);
+  put_u64(out, r.trials);
+  put_u64(out, r.max_iterations);
+  put_f64(out, r.query_flip_prob);
+  put_u64(out, r.seed);
+
+  const resonator::TrialStats& s = r.stats;
+  put_u64(out, s.trials);
+  put_u64(out, s.solved);
+  put_u64(out, s.correct);
+  put_u64(out, s.cycles);
+  put_u64(out, s.iteration_samples.size());
+  for (double x : s.iteration_samples) put_f64(out, x);
+  put_u64(out, s.correct_by_iteration.size());
+  for (std::size_t x : s.correct_by_iteration) put_u64(out, x);
+  put_u64(out, s.correct_raw_by_iteration.size());
+  for (std::size_t x : s.correct_raw_by_iteration) put_u64(out, x);
+  put_f64(out, r.wall_seconds);
+  return out;
+}
+
+std::pair<std::size_t, CellResult> decode_result(const char* data,
+                                                 std::size_t len) {
+  Reader in{data, len};
+  const std::size_t block_begin = static_cast<std::size_t>(in.u64());
+  CellResult r;
+  r.index = static_cast<std::size_t>(in.u64());
+  const std::size_t ncoords = static_cast<std::size_t>(in.u64());
+  r.coordinates.reserve(ncoords);
+  for (std::size_t i = 0; i < ncoords; ++i) {
+    std::string axis = in.str();
+    std::string label = in.str();
+    r.coordinates.emplace_back(std::move(axis), std::move(label));
+  }
+  const std::size_t nparams = static_cast<std::size_t>(in.u64());
+  for (std::size_t i = 0; i < nparams; ++i) {
+    std::string k = in.str();
+    r.params[std::move(k)] = in.f64();
+  }
+  const std::size_t nmeta = static_cast<std::size_t>(in.u64());
+  for (std::size_t i = 0; i < nmeta; ++i) {
+    std::string k = in.str();
+    r.meta[std::move(k)] = in.str();
+  }
+  r.dim = static_cast<std::size_t>(in.u64());
+  r.factors = static_cast<std::size_t>(in.u64());
+  r.codebook_size = static_cast<std::size_t>(in.u64());
+  r.trials = static_cast<std::size_t>(in.u64());
+  r.max_iterations = static_cast<std::size_t>(in.u64());
+  r.query_flip_prob = in.f64();
+  r.seed = in.u64();
+
+  resonator::TrialStats& s = r.stats;
+  s.trials = static_cast<std::size_t>(in.u64());
+  s.solved = static_cast<std::size_t>(in.u64());
+  s.correct = static_cast<std::size_t>(in.u64());
+  s.cycles = static_cast<std::size_t>(in.u64());
+  const std::size_t nsamples = static_cast<std::size_t>(in.u64());
+  s.iteration_samples.reserve(nsamples);
+  for (std::size_t i = 0; i < nsamples; ++i) {
+    s.iteration_samples.push_back(in.f64());
+  }
+  // Rebuild the Welford accumulator by sequential adds over the sample
+  // order, matching exactly how the worker built its own copy.
+  for (double x : s.iteration_samples) s.iterations_solved.add(x);
+  const std::size_t nhist = static_cast<std::size_t>(in.u64());
+  s.correct_by_iteration.reserve(nhist);
+  for (std::size_t i = 0; i < nhist; ++i) {
+    s.correct_by_iteration.push_back(static_cast<std::size_t>(in.u64()));
+  }
+  const std::size_t nraw = static_cast<std::size_t>(in.u64());
+  s.correct_raw_by_iteration.reserve(nraw);
+  for (std::size_t i = 0; i < nraw; ++i) {
+    s.correct_raw_by_iteration.push_back(static_cast<std::size_t>(in.u64()));
+  }
+  r.wall_seconds = in.f64();
+  return {block_begin, std::move(r)};
+}
+
+unsigned effective_cell_threads(const SweepOptions& options, unsigned shards) {
+  if (options.threads_per_cell != 0) return options.threads_per_cell;
+  // With several shards the shards ARE the parallelism; nested thread pools
+  // would only oversubscribe the cores.
+  return shards > 1 ? 1u : 0u;
+}
+
+// --- in-process execution (shards == 1, fallback, and non-POSIX) -----------
+
+std::vector<CellResult> run_with_threads(const SweepSpec& spec,
+                                         const SweepOptions& options,
+                                         std::size_t total, unsigned shards) {
+  const unsigned cell_threads = effective_cell_threads(options, shards);
+  const std::vector<Task> tasks = build_tasks(spec, total, shards);
+
+  std::vector<CellResult> results;
+  results.reserve(total);
+  CellAssembler assembler(spec, total);
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;  // guards results/assembler/progress
+  std::exception_ptr error;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1);
+      if (t >= tasks.size()) break;
+      CellResult partial;
+      try {
+        partial = run_cell_block(spec, tasks[t], cell_threads);
+      } catch (const std::exception& e) {
+        // Same failure shape as the process pool: the cell index and reason.
+        throw std::runtime_error("sweep shard failed: cell " +
+                                 std::to_string(tasks[t].cell) + ": " +
+                                 e.what());
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (auto done = assembler.add(tasks[t].begin, std::move(partial))) {
+        results.push_back(std::move(*done));
+        if (options.progress) {
+          options.progress(results.back(), results.size(), total);
+        }
+      }
+    }
+  };
+  auto guarded = [&]() {
+    try {
+      worker();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!error) error = std::current_exception();
+      next.store(tasks.size());  // drain the queue so peers stop early
+    }
+  };
+
+  if (shards <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) pool.emplace_back(guarded);
+    for (auto& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+  }
+  std::sort(results.begin(), results.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.index < b.index;
+            });
+  return results;
+}
+
+#if defined(H3DFACT_SWEEP_HAS_FORK)
+
+// --- forked process pool ---------------------------------------------------
+
+bool read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) return false;  // EOF or error
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put <= 0) return false;
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void write_message(int fd, std::uint8_t kind, const std::string& payload) {
+  std::string frame;
+  frame.push_back(static_cast<char>(kind));
+  put_u64(frame, payload.size());
+  frame.append(payload);
+  (void)write_full(fd, frame.data(), frame.size());
+}
+
+// Shard main loop: pull tasks off the task pipe until the parent closes it,
+// answer each with a framed block result. Never returns.
+[[noreturn]] void shard_main(const SweepSpec& spec,
+                             const std::vector<Task>& tasks,
+                             unsigned cell_threads, int task_fd,
+                             int result_fd) {
+  for (;;) {
+    std::uint64_t task_index = 0;
+    if (!read_full(task_fd, &task_index, sizeof task_index)) break;
+    const Task& task = tasks[static_cast<std::size_t>(task_index)];
+    try {
+      const CellResult r = run_cell_block(spec, task, cell_threads);
+      write_message(result_fd, kMsgResult, encode_result(task.begin, r));
+    } catch (const std::exception& e) {
+      write_message(result_fd, kMsgError,
+                    "cell " + std::to_string(task.cell) + ": " + e.what());
+      ::_exit(1);
+    } catch (...) {
+      write_message(result_fd, kMsgError,
+                    "cell " + std::to_string(task.cell) + ": unknown error");
+      ::_exit(1);
+    }
+  }
+  ::_exit(0);
+}
+
+struct Shard {
+  pid_t pid = -1;
+  int task_fd = -1;    // parent → child task indices
+  int result_fd = -1;  // child → parent framed results
+  std::string buf;     // partial result bytes
+  std::size_t outstanding = 0;
+  bool task_open = false;
+};
+
+void close_task_fd(Shard& shard) {
+  if (shard.task_open) {
+    ::close(shard.task_fd);
+    shard.task_open = false;
+  }
+}
+
+std::vector<CellResult> run_with_processes(const SweepSpec& spec,
+                                           const SweepOptions& options,
+                                           std::size_t total,
+                                           unsigned nshards) {
+  const unsigned cell_threads = effective_cell_threads(options, nshards);
+  const std::vector<Task> tasks = build_tasks(spec, total, nshards);
+
+  std::vector<Shard> shards;
+  shards.reserve(nshards);
+  for (unsigned i = 0; i < nshards && i < tasks.size(); ++i) {
+    int task_pipe[2];
+    int result_pipe[2];
+    if (::pipe(task_pipe) != 0) break;
+    if (::pipe(result_pipe) != 0) {
+      ::close(task_pipe[0]);
+      ::close(task_pipe[1]);
+      break;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(task_pipe[0]);
+      ::close(task_pipe[1]);
+      ::close(result_pipe[0]);
+      ::close(result_pipe[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Child: keep only its two pipe ends (including those inherited from
+      // earlier shards — close them so EOF propagates correctly).
+      ::close(task_pipe[1]);
+      ::close(result_pipe[0]);
+      for (Shard& other : shards) {
+        ::close(other.task_fd);
+        ::close(other.result_fd);
+      }
+      shard_main(spec, tasks, cell_threads, task_pipe[0], result_pipe[1]);
+    }
+    Shard shard;
+    shard.pid = pid;
+    shard.task_fd = task_pipe[1];
+    shard.result_fd = result_pipe[0];
+    shard.task_open = true;
+    ::close(task_pipe[0]);
+    ::close(result_pipe[1]);
+    shards.push_back(shard);
+  }
+
+  if (shards.empty()) {
+    // fork unavailable (resource limits, sandbox): same queue on threads.
+    return run_with_threads(spec, options, total, nshards);
+  }
+
+  // A dead shard must surface as an error message / EOF, not a SIGPIPE.
+  struct SigpipeGuard {
+    void (*old)(int);
+    SigpipeGuard() : old(::signal(SIGPIPE, SIG_IGN)) {}
+    ~SigpipeGuard() { ::signal(SIGPIPE, old); }
+  } sigpipe_guard;
+
+  std::vector<CellResult> results;
+  results.reserve(total);
+  CellAssembler assembler(spec, total);
+  std::size_t next = 0;
+  std::string failure;
+
+  // First failure wins; terminate the siblings promptly — one may be hours
+  // into a heavy block whose sweep is already doomed.
+  auto fail = [&](std::string msg) {
+    if (failure.empty()) failure = std::move(msg);
+    next = tasks.size();
+    for (Shard& s : shards) {
+      if (s.pid > 0) ::kill(s.pid, SIGTERM);
+    }
+  };
+
+  auto send_task = [&](Shard& shard) {
+    if (!shard.task_open) return;
+    if (next >= tasks.size()) {
+      close_task_fd(shard);
+      return;
+    }
+    const std::uint64_t index = next;
+    if (write_full(shard.task_fd, &index, sizeof index)) {
+      ++next;
+      ++shard.outstanding;
+    } else {
+      fail("sweep shard task pipe closed unexpectedly");
+    }
+  };
+
+  for (Shard& shard : shards) send_task(shard);
+
+  std::size_t open_results = shards.size();
+  while (open_results > 0) {
+    std::vector<pollfd> fds;
+    fds.reserve(shards.size());
+    for (const Shard& shard : shards) {
+      if (shard.result_fd >= 0) {
+        fds.push_back(pollfd{shard.result_fd, POLLIN, 0});
+      }
+    }
+    if (fds.empty()) break;
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      if (failure.empty()) failure = "poll on sweep result pipes failed";
+      break;
+    }
+    for (const pollfd& pfd : fds) {
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto it = std::find_if(shards.begin(), shards.end(), [&](const Shard& s) {
+        return s.result_fd == pfd.fd;
+      });
+      Shard& shard = *it;
+      char chunk[65536];
+      const ssize_t got = ::read(shard.result_fd, chunk, sizeof chunk);
+      if (got > 0) {
+        shard.buf.append(chunk, static_cast<std::size_t>(got));
+        // Drain every complete frame in the buffer.
+        for (;;) {
+          if (shard.buf.size() < 9) break;
+          const auto kind = static_cast<std::uint8_t>(shard.buf[0]);
+          Reader header{shard.buf.data() + 1, 8};
+          const std::size_t payload = static_cast<std::size_t>(header.u64());
+          if (shard.buf.size() < 9 + payload) break;
+          if (kind == kMsgResult) {
+            auto [block_begin, partial] =
+                decode_result(shard.buf.data() + 9, payload);
+            if (shard.outstanding > 0) --shard.outstanding;
+            if (auto done = assembler.add(block_begin, std::move(partial))) {
+              results.push_back(std::move(*done));
+              if (options.progress) {
+                options.progress(results.back(), results.size(), total);
+              }
+            }
+            send_task(shard);
+          } else {
+            fail("sweep shard failed: " +
+                 std::string(shard.buf.data() + 9, payload));
+            close_task_fd(shard);
+          }
+          shard.buf.erase(0, 9 + payload);
+        }
+      } else {
+        // EOF: the shard exited. Legitimate only once its queue is closed
+        // and it owes no results.
+        if (shard.outstanding > 0 || shard.task_open) {
+          fail("sweep shard exited before finishing its cells");
+        }
+        close_task_fd(shard);
+        ::close(shard.result_fd);
+        shard.result_fd = -1;
+        --open_results;
+      }
+    }
+  }
+
+  for (Shard& shard : shards) {
+    close_task_fd(shard);
+    if (shard.result_fd >= 0) ::close(shard.result_fd);
+    int status = 0;
+    ::waitpid(shard.pid, &status, 0);
+    if (failure.empty() &&
+        !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      failure = "sweep shard terminated abnormally";
+    }
+  }
+  if (failure.empty() && results.size() != total) {
+    failure = "sweep lost " + std::to_string(total - results.size()) +
+              " cell result(s)";
+  }
+  if (!failure.empty()) throw std::runtime_error(failure);
+
+  std::sort(results.begin(), results.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.index < b.index;
+            });
+  return results;
+}
+
+#endif  // H3DFACT_SWEEP_HAS_FORK
+
+}  // namespace
+
+const std::string& CellResult::coordinate(const std::string& axis) const {
+  static const std::string kEmpty;
+  for (const auto& [name, label] : coordinates) {
+    if (name == axis) return label;
+  }
+  return kEmpty;
+}
+
+CellResult run_cell(const SweepSpec& spec, std::size_t index,
+                    unsigned threads_override) {
+  Task task;
+  task.cell = index;
+  task.begin = 0;
+  task.end = spec.cell(index).config.trials;
+  return run_cell_block(spec, task, threads_override);
+}
+
+SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+std::vector<CellResult> SweepRunner::run() const {
+  const std::size_t total = spec_.cell_count();
+  const unsigned nshards = std::max(
+      1u, options_.shards == 0 ? 1u : options_.shards);
+#if defined(H3DFACT_SWEEP_HAS_FORK)
+  if (options_.use_processes && nshards > 1) {
+    return run_with_processes(spec_, options_, total, nshards);
+  }
+#endif
+  return run_with_threads(spec_, options_, total, nshards);
+}
+
+std::vector<CellResult> run_sweep(const SweepSpec& spec,
+                                  const SweepOptions& options) {
+  return SweepRunner(spec, options).run();
+}
+
+}  // namespace h3dfact::sweep

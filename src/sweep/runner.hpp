@@ -1,0 +1,95 @@
+#pragma once
+// Sharded sweep execution (the sweep subsystem, part 2 of 3).
+//
+// A SweepRunner executes every cell of a SweepSpec across a pool of worker
+// shards. On POSIX the shards are forked processes fed from a dynamic work
+// queue over pipes (cells are handed to whichever shard finishes first, so
+// a long cell never serializes the grid behind it) with results pipe-
+// serialized back to the parent; where fork is unavailable — or when
+// SweepOptions::use_processes is off — the same queue runs over in-process
+// threads. Cell seeds derive from (master seed, cell index) alone, so the
+// statistics are bit-identical for every shard count and schedule; only the
+// wall clock changes.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/spec.hpp"
+
+namespace h3dfact::sweep {
+
+/// One executed cell: the resolved coordinates/parameters/metadata, an echo
+/// of the key config fields (plain data — results cross process
+/// boundaries), the aggregated trial statistics and the cell wall time.
+struct CellResult {
+  std::size_t index = 0;
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  std::map<std::string, double> params;
+  std::map<std::string, std::string> meta;
+
+  // Resolved-config echo.
+  std::size_t dim = 0;
+  std::size_t factors = 0;
+  std::size_t codebook_size = 0;
+  std::size_t trials = 0;
+  std::size_t max_iterations = 0;
+  double query_flip_prob = 0.0;
+  std::uint64_t seed = 0;
+
+  resonator::TrialStats stats;
+  double wall_seconds = 0.0;
+
+  /// The point label this cell took on the named axis ("" when absent).
+  [[nodiscard]] const std::string& coordinate(const std::string& axis) const;
+};
+
+/// Execution knobs, orthogonal to the grid declaration.
+struct SweepOptions {
+  /// Worker shards. 1 runs every cell inline in this process.
+  unsigned shards = 1;
+  /// Worker threads inside each cell's run_trials. 0 = auto: single-
+  /// threaded cells when shards > 1 (the shards are the parallelism),
+  /// otherwise the config's own setting.
+  unsigned threads_per_cell = 0;
+  /// Fork worker processes (POSIX). Off — or unsupported platform — runs
+  /// the same work queue over in-process threads.
+  bool use_processes = true;
+  /// Invoked in the parent as each cell completes (any order): the result,
+  /// cells done so far, total cells.
+  std::function<void(const CellResult&, std::size_t done, std::size_t total)>
+      progress;
+};
+
+/// Executes a SweepSpec. Stateless between runs; run() may be called again.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepSpec spec, SweepOptions options = {});
+
+  [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+
+  /// Run every cell; results are returned sorted by cell index. Throws
+  /// std::runtime_error when a worker shard fails (the first failure's
+  /// cell index and reason are in the message).
+  [[nodiscard]] std::vector<CellResult> run() const;
+
+ private:
+  SweepSpec spec_;
+  SweepOptions options_;
+};
+
+/// Convenience: SweepRunner(spec, options).run().
+std::vector<CellResult> run_sweep(const SweepSpec& spec,
+                                  const SweepOptions& options = {});
+
+/// Resolve and execute one cell in the calling process (the unit of work a
+/// shard performs; exposed for tests and custom schedulers).
+/// `threads_override` replaces the cell config's thread count when nonzero.
+CellResult run_cell(const SweepSpec& spec, std::size_t index,
+                    unsigned threads_override = 0);
+
+}  // namespace h3dfact::sweep

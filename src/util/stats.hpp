@@ -19,6 +19,9 @@ class RunningStats {
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
+  /// Sum of squared deviations (Welford's M2): exposes the remaining piece
+  /// of internal state so exact-equality tests can compare accumulators.
+  [[nodiscard]] double sum_squared_dev() const { return m2_; }
 
  private:
   std::size_t n_ = 0;

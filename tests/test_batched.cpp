@@ -221,11 +221,90 @@ TEST(BatchedFactorizer, MatchesSequentialRunsWithStochasticChannel) {
   }
 }
 
+// Asynchronous runs batch too — across problems, not within one: each
+// problem's freshest-state update sequence replays exactly, so the batched
+// front-end can carry the trial runner's default (asynchronous) traffic.
+TEST(BatchedFactorizer, MatchesSequentialAsynchronousRuns) {
+  util::Rng rng(909);
+  auto set = std::make_shared<hdc::CodebookSet>(512, 3, 8, rng);
+  resonator::ProblemGenerator gen(set);
+
+  resonator::ResonatorOptions opts;
+  opts.update = resonator::UpdateMode::kAsynchronous;
+  opts.max_iterations = 60;
+  opts.record_correct_trace = true;
+
+  std::vector<resonator::FactorizationProblem> problems;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    util::Rng prng(800 + i);
+    problems.push_back(gen.sample(prng));
+    seeds.push_back(4000 + 17 * i);
+  }
+
+  resonator::ResonatorNetwork net(set, opts);
+  std::vector<resonator::ResonatorResult> sequential;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    util::Rng run_rng(seeds[i]);
+    sequential.push_back(net.run(problems[i], run_rng));
+  }
+
+  resonator::BatchedFactorizer batched(set, opts);
+  std::vector<util::Rng> rngs;
+  for (std::uint64_t s : seeds) rngs.emplace_back(s);
+  util::Rng device_rng(4);
+  auto results = batched.run(problems, rngs, device_rng);
+
+  ASSERT_EQ(results.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    expect_same_result(sequential[i], results[i], i);
+  }
+}
+
+// Same asynchronous equivalence through the stochastic H3DFact channel.
+TEST(BatchedFactorizer, MatchesSequentialAsynchronousStochasticRuns) {
+  util::Rng rng(919);
+  auto set = std::make_shared<hdc::CodebookSet>(512, 3, 8, rng);
+  resonator::ProblemGenerator gen(set);
+
+  resonator::ResonatorOptions opts;
+  opts.update = resonator::UpdateMode::kAsynchronous;
+  opts.max_iterations = 80;
+  opts.channel = resonator::make_h3dfact_channel(512);
+  opts.detect_limit_cycles = false;
+
+  std::vector<resonator::FactorizationProblem> problems;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    util::Rng prng(880 + i);
+    problems.push_back(gen.sample(prng));
+  }
+
+  resonator::ResonatorNetwork net(set, opts);
+  resonator::BatchedFactorizer batched(set, opts);
+
+  std::vector<resonator::ResonatorResult> sequential;
+  std::vector<util::Rng> rngs;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    util::Rng run_rng(6100 + 19 * i);
+    sequential.push_back(net.run(problems[i], run_rng));
+    rngs.emplace_back(6100 + 19 * i);
+  }
+  util::Rng device_rng(5);
+  auto results = batched.run(problems, rngs, device_rng);
+
+  ASSERT_EQ(results.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    expect_same_result(sequential[i], results[i], i);
+  }
+}
+
 TEST(BatchedFactorizer, ValidatesInputs) {
   util::Rng rng(606);
   auto set = std::make_shared<hdc::CodebookSet>(256, 2, 4, rng);
   resonator::BatchedFactorizer batched(set, resonator::ResonatorOptions{});
-  EXPECT_EQ(batched.options().update, resonator::UpdateMode::kSynchronous);
+  // The update mode is honored as given (default: asynchronous, matching
+  // ResonatorNetwork) — both schedules batch across problems.
+  EXPECT_EQ(batched.options().update, resonator::UpdateMode::kAsynchronous);
 
   resonator::ProblemGenerator gen(set);
   std::vector<resonator::FactorizationProblem> problems = {gen.sample(rng)};

@@ -77,8 +77,12 @@ TEST(Integration, ProfilerConfirmsFig1cMvmShare) {
     auto p = gen.sample(trial);
     (void)net.run(p, trial);
   }
-  // Fig. 1c: MVMs dominate; ~80% in the paper's software characterization.
-  EXPECT_GT(prof.mvm_time_fraction(), 0.6);
+  // Fig. 1c: MVMs dominate. The paper's ~80% wall-time share characterizes
+  // unaccelerated software; with the per-call kernels now routed through
+  // the SIMD dispatch the time share shrinks, so the ops share carries the
+  // structural claim and the time bound only guards against MVMs becoming
+  // negligible.
+  EXPECT_GT(prof.mvm_time_fraction(), 0.2);
   EXPECT_GT(prof.mvm_ops_fraction(), 0.9);
 }
 

@@ -436,7 +436,8 @@ TEST(TrialRunner, TraceHistogramMonotone) {
   cfg.trials = 10;
   cfg.max_iterations = 50;
   cfg.seed = 23;
-  auto stats = resonator::run_trials(cfg, /*record_traces=*/true);
+  cfg.record_correct_trace = true;
+  auto stats = resonator::run_trials(cfg);
   ASSERT_EQ(stats.correct_by_iteration.size(), cfg.max_iterations + 1);
   for (std::size_t k = 1; k < stats.correct_by_iteration.size(); ++k) {
     EXPECT_GE(stats.correct_by_iteration[k], stats.correct_by_iteration[k - 1]);

@@ -1,0 +1,333 @@
+// Sweep subsystem tests: declarative grid resolution, deterministic cell
+// seeding, shard-count invariance of the sharded runner (process pool and
+// thread fallback), execution-mode equivalence of the trial runner,
+// emitter golden files, and worker-failure propagation.
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+using namespace h3dfact;
+
+void expect_stats_equal(const resonator::TrialStats& a,
+                        const resonator::TrialStats& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.trials, b.trials) << context;
+  EXPECT_EQ(a.solved, b.solved) << context;
+  EXPECT_EQ(a.correct, b.correct) << context;
+  EXPECT_EQ(a.cycles, b.cycles) << context;
+  EXPECT_EQ(a.iteration_samples, b.iteration_samples) << context;
+  EXPECT_EQ(a.correct_by_iteration, b.correct_by_iteration) << context;
+  EXPECT_EQ(a.correct_raw_by_iteration, b.correct_raw_by_iteration) << context;
+  EXPECT_EQ(a.iterations_solved.count(), b.iterations_solved.count()) << context;
+  EXPECT_EQ(a.iterations_solved.mean(), b.iterations_solved.mean()) << context;
+  EXPECT_EQ(a.iterations_solved.sum_squared_dev(),
+            b.iterations_solved.sum_squared_dev())
+      << context;
+  EXPECT_EQ(a.iterations_solved.min(), b.iterations_solved.min()) << context;
+  EXPECT_EQ(a.iterations_solved.max(), b.iterations_solved.max()) << context;
+}
+
+// A fast 2×2 exact-engine grid exercising two axis kinds plus finalize.
+sweep::SweepSpec small_grid() {
+  sweep::SweepSpec spec;
+  spec.name = "unit-grid";
+  spec.base.dim = 256;
+  spec.base.factors = 2;
+  spec.base.trials = 8;
+  spec.base.max_iterations = 60;
+  spec.base.seed = 12345;
+  spec.axes.push_back(sweep::Axis::codebook_size({4, 8}));
+  spec.axes.push_back(sweep::Axis::query_noise({0.0, 0.05}));
+  spec.finalize = [](sweep::Cell& cell) {
+    cell.meta["tag"] = "M" + cell.coordinates[0].second;
+  };
+  return spec;
+}
+
+TEST(SweepSpec, ResolvesCellsRowMajor) {
+  sweep::SweepSpec spec = small_grid();
+  ASSERT_EQ(spec.cell_count(), 4u);
+
+  // Last axis fastest: (M=4, q=0), (M=4, q=0.05), (M=8, q=0), (M=8, q=0.05).
+  const sweep::Cell c0 = spec.cell(0);
+  const sweep::Cell c1 = spec.cell(1);
+  const sweep::Cell c2 = spec.cell(2);
+  EXPECT_EQ(c0.config.codebook_size, 4u);
+  EXPECT_DOUBLE_EQ(c0.config.query_flip_prob, 0.0);
+  EXPECT_EQ(c1.config.codebook_size, 4u);
+  EXPECT_DOUBLE_EQ(c1.config.query_flip_prob, 0.05);
+  EXPECT_EQ(c2.config.codebook_size, 8u);
+  ASSERT_EQ(c0.coordinates.size(), 2u);
+  EXPECT_EQ(c0.coordinates[0].first, "M");
+  EXPECT_EQ(c0.coordinates[0].second, "4");
+  EXPECT_EQ(c0.coordinates[1].first, "query_noise");
+  EXPECT_EQ(c0.meta.at("tag"), "M4");
+
+  // Base fields not under an axis pass through untouched.
+  EXPECT_EQ(c0.config.dim, 256u);
+  EXPECT_EQ(c0.config.trials, 8u);
+
+  EXPECT_THROW((void)spec.cell(4), std::out_of_range);
+}
+
+TEST(SweepSpec, CellSeedsAreDeterministicAndDistinct) {
+  sweep::SweepSpec spec = small_grid();
+  for (std::size_t i = 0; i < spec.cell_count(); ++i) {
+    EXPECT_EQ(spec.cell(i).config.seed, sweep::cell_seed(spec.base.seed, i));
+    for (std::size_t j = i + 1; j < spec.cell_count(); ++j) {
+      EXPECT_NE(sweep::cell_seed(spec.base.seed, i),
+                sweep::cell_seed(spec.base.seed, j));
+    }
+  }
+  // Cell seeds never collapse onto the master seed itself.
+  EXPECT_NE(sweep::cell_seed(7, 0), 7u);
+}
+
+TEST(SweepSpec, ParamAxisFeedsTheCellFactory) {
+  sweep::SweepSpec spec;
+  spec.base.dim = 256;
+  spec.base.factors = 2;
+  spec.base.codebook_size = 4;
+  spec.base.trials = 4;
+  spec.base.max_iterations = 30;
+  spec.axes.push_back(sweep::Axis::param("adc_bits", {4, 8}));
+  std::vector<double> seen;
+  spec.factory = [&seen](std::shared_ptr<const hdc::CodebookSet> set,
+                         const sweep::Cell& cell) {
+    seen.push_back(cell.param("adc_bits", -1));
+    return resonator::make_h3dfact(std::move(set), cell.config,
+                                   static_cast<int>(cell.param("adc_bits", 4)));
+  };
+  auto results = sweep::run_sweep(spec);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].params.at("adc_bits"), 4.0);
+  EXPECT_DOUBLE_EQ(results[1].params.at("adc_bits"), 8.0);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_DOUBLE_EQ(seen.front(), 4.0);
+}
+
+// The acceptance property: per-cell statistics are bit-identical for every
+// shard count and for the in-process thread fallback, because each cell is
+// a pure function of (spec, cell index).
+TEST(SweepRunner, ShardCountInvariance) {
+  sweep::SweepSpec spec = small_grid();
+
+  sweep::SweepOptions seq;
+  seq.shards = 1;
+  const auto reference = sweep::run_sweep(spec, seq);
+  ASSERT_EQ(reference.size(), 4u);
+
+  for (unsigned shards : {2u, 4u}) {
+    sweep::SweepOptions opt;
+    opt.shards = shards;
+    const auto sharded = sweep::run_sweep(spec, opt);
+    ASSERT_EQ(sharded.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(sharded[i].index, reference[i].index);
+      EXPECT_EQ(sharded[i].seed, reference[i].seed);
+      EXPECT_EQ(sharded[i].coordinates, reference[i].coordinates);
+      EXPECT_EQ(sharded[i].meta, reference[i].meta);
+      expect_stats_equal(sharded[i].stats, reference[i].stats,
+                         "shards=" + std::to_string(shards) + " cell " +
+                             std::to_string(i));
+    }
+  }
+
+  sweep::SweepOptions threads;
+  threads.shards = 3;
+  threads.use_processes = false;
+  const auto threaded = sweep::run_sweep(spec, threads);
+  ASSERT_EQ(threaded.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(threaded[i].stats, reference[i].stats,
+                       "thread fallback cell " + std::to_string(i));
+  }
+
+  // And every cell equals a direct single-cell execution (run_trials is the
+  // one-cell special case of the sweep).
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const auto direct = sweep::run_cell(spec, i, /*threads_override=*/1);
+    expect_stats_equal(direct.stats, reference[i].stats,
+                       "direct cell " + std::to_string(i));
+  }
+}
+
+TEST(SweepRunner, ProgressReportsEveryCell) {
+  sweep::SweepSpec spec = small_grid();
+  sweep::SweepOptions opt;
+  opt.shards = 2;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  opt.progress = [&](const sweep::CellResult& r, std::size_t done,
+                     std::size_t total) {
+    ++calls;
+    last_done = done;
+    EXPECT_LT(r.index, 4u);
+    EXPECT_EQ(total, 4u);
+  };
+  const auto results = sweep::run_sweep(spec, opt);
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(last_done, 4u);
+}
+
+TEST(SweepRunner, WorkerFailurePropagates) {
+  sweep::SweepSpec spec = small_grid();
+  // Poison one cell: zero trials makes run_trials throw inside the worker.
+  spec.finalize = [](sweep::Cell& cell) {
+    if (cell.index == 2) cell.config.trials = 0;
+  };
+
+  sweep::SweepOptions processes;
+  processes.shards = 2;
+  EXPECT_THROW((void)sweep::run_sweep(spec, processes), std::runtime_error);
+
+  // The thread fallback wraps failures the same way: runtime_error naming
+  // the failing cell.
+  sweep::SweepOptions threads;
+  threads.shards = 2;
+  threads.use_processes = false;
+  try {
+    (void)sweep::run_sweep(spec, threads);
+    FAIL() << "expected a sweep failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cell 2"), std::string::npos);
+  }
+}
+
+// run_trials execution modes: the lockstep-batched default must reproduce
+// the per-trial path field-for-field on engines without per-call
+// randomness, for the deterministic baseline and through the stochastic
+// channel, at any thread count.
+TEST(TrialExecution, BatchedMatchesPerTrial) {
+  for (const bool stochastic : {false, true}) {
+    resonator::TrialConfig cfg;
+    cfg.dim = 256;
+    cfg.factors = 2;
+    cfg.codebook_size = 6;
+    cfg.trials = 70;  // spans multiple lockstep chunks
+    cfg.max_iterations = 60;
+    cfg.seed = 99;
+    cfg.record_correct_trace = true;
+    if (stochastic) {
+      cfg.factory = [](std::shared_ptr<const hdc::CodebookSet> s,
+                       const resonator::TrialConfig& c) {
+        return resonator::make_h3dfact(std::move(s), c);
+      };
+    }
+
+    cfg.execution = resonator::TrialExecution::kPerTrial;
+    cfg.threads = 1;
+    const auto per_trial = resonator::run_trials(cfg);
+
+    cfg.execution = resonator::TrialExecution::kBatched;
+    for (unsigned threads : {1u, 4u}) {
+      cfg.threads = threads;
+      const auto batched = resonator::run_trials(cfg);
+      expect_stats_equal(per_trial, batched,
+                         std::string(stochastic ? "h3d" : "baseline") +
+                             " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// --- emitter golden files --------------------------------------------------
+
+std::vector<sweep::CellResult> golden_results() {
+  sweep::CellResult r;
+  r.index = 0;
+  r.coordinates = {{"F", "3"}, {"M", "16"}};
+  r.params["sigma"] = 0.5;
+  r.meta["paper_acc"] = "99.4";
+  r.dim = 1024;
+  r.factors = 3;
+  r.codebook_size = 16;
+  r.trials = 4;
+  r.max_iterations = 100;
+  r.query_flip_prob = 0.0;
+  r.seed = 42;
+  r.stats.trials = 4;
+  r.stats.solved = 2;
+  r.stats.correct = 3;
+  r.stats.cycles = 1;
+  r.stats.iteration_samples = {2.0, 6.0};
+  r.stats.iterations_solved.add(2.0);
+  r.stats.iterations_solved.add(6.0);
+  r.wall_seconds = 0.25;
+
+  sweep::CellResult q = r;
+  q.index = 1;
+  q.coordinates = {{"F", "3"}, {"M", "32"}};
+  q.codebook_size = 32;
+  q.meta["paper_acc"] = "99,3";  // comma forces CSV quoting
+  q.seed = 43;
+  return {r, q};
+}
+
+TEST(SweepEmit, CsvGolden) {
+  const auto results = golden_results();
+  const std::string expected =
+      "cell,F,M,sigma,dim,factors,codebook_size,trials,max_iterations,"
+      "query_flip_prob,seed,solved,correct,cycles,accuracy,accuracy_ci,"
+      "solve_rate,median_iterations,iterations_p99,wall_seconds,paper_acc\n"
+      "0,3,16,0.5,1024,3,16,4,100,0,42,2,3,1,0.75,0.326889,0.5,4,-1,0.25,"
+      "99.4\n"
+      "1,3,32,0.5,1024,3,32,4,100,0,43,2,3,1,0.75,0.326889,0.5,4,-1,0.25,"
+      "\"99,3\"\n";
+  EXPECT_EQ(sweep::csv_string(results), expected);
+}
+
+TEST(SweepEmit, JsonGolden) {
+  const auto results = golden_results();
+  const std::string expected = R"({
+  "sweep": "golden",
+  "cells": [
+    {
+      "index": 0,
+      "coordinates": {"F": "3", "M": "16"},
+      "params": {"sigma": 0.5},
+      "meta": {"paper_acc": "99.4"},
+      "config": {"dim": 1024, "factors": 3, "codebook_size": 16, "trials": 4, "max_iterations": 100, "query_flip_prob": 0, "seed": "42"},
+      "stats": {"trials": 4, "solved": 2, "correct": 3, "cycles": 1, "accuracy": 0.75, "accuracy_ci": 0.326889, "solve_rate": 0.5, "median_iterations": 4, "iterations_p99": -1, "mean_iterations_solved": 4},
+      "wall_seconds": 0.25
+    },
+    {
+      "index": 1,
+      "coordinates": {"F": "3", "M": "32"},
+      "params": {"sigma": 0.5},
+      "meta": {"paper_acc": "99,3"},
+      "config": {"dim": 1024, "factors": 3, "codebook_size": 32, "trials": 4, "max_iterations": 100, "query_flip_prob": 0, "seed": "43"},
+      "stats": {"trials": 4, "solved": 2, "correct": 3, "cycles": 1, "accuracy": 0.75, "accuracy_ci": 0.326889, "solve_rate": 0.5, "median_iterations": 4, "iterations_p99": -1, "mean_iterations_solved": 4},
+      "wall_seconds": 0.25
+    }
+  ]
+}
+)";
+  EXPECT_EQ(sweep::json_string("golden", results), expected);
+}
+
+// Round-trip through the shard pipe serialization is exercised implicitly
+// by ShardCountInvariance (process shards encode/decode every result);
+// this guards the one field the invariance test cannot see: metadata and
+// coordinates surviving a ragged grid where cells disagree on keys.
+TEST(SweepEmit, RaggedGridUnionsColumns) {
+  auto results = golden_results();
+  results[1].params.clear();
+  results[1].params["theta"] = 1.5;
+  const std::string csv = sweep::csv_string(results);
+  EXPECT_NE(csv.find("sigma,theta"), std::string::npos);
+  // Cell 0 has no theta; cell 1 has no sigma — both emit empty fields.
+  EXPECT_NE(csv.find("0,3,16,0.5,,1024"), std::string::npos);
+  EXPECT_NE(csv.find("1,3,32,,1.5,1024"), std::string::npos);
+}
+
+}  // namespace

@@ -91,7 +91,8 @@ TEST(TrialRunner, TraceRecordingReachesFullAccuracyAtCap) {
   resonator::TrialConfig config = small_config();
   config.trials = 20;
   config.threads = 2;
-  const resonator::TrialStats stats = resonator::run_trials(config, true);
+  config.record_correct_trace = true;
+  const resonator::TrialStats stats = resonator::run_trials(config);
   ASSERT_FALSE(stats.correct_by_iteration.empty());
   // Accuracy at the iteration cap equals the final aggregate accuracy.
   EXPECT_DOUBLE_EQ(stats.accuracy_at(config.max_iterations), stats.accuracy());
