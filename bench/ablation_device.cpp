@@ -5,81 +5,35 @@
 // statistics (larger spread + conductance drift) and compare accuracy /
 // convergence at a problem size where the deterministic baseline fails.
 //
-// Declared as a custom technology axis: each point captures the extracted
-// (sigma, gain) operating point into Cell::params, and the shared H3DFact
-// cell factory builds the channel from them.
+// The registered "ablation_device" grid (bench/grids) declares a custom
+// technology axis: each point captures the extracted (sigma, gain)
+// operating point into Cell::params — reconstructed deterministically from
+// the seed, so remote sweep workers extract identical statistics — and the
+// shared H3DFact cell factory builds the channel from them.
 
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <iostream>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "bench_common.hpp"
-#include "device/pcm_cell.hpp"
-#include "device/rram_chip_data.hpp"
+#include "grids/grids.hpp"
 
 using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
+  bench::grids::register_all();
   const std::size_t M = static_cast<std::size_t>(cli.i64("m", 128));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 55));
 
-  // Extract per-technology similarity-path statistics (256-row columns).
-  util::Rng rng(seed);
-  device::TestchipNoiseModel rram(256, device::default_rram_40nm(), 300, rng);
-  auto pcm_fresh = device::pcm_path_stats(device::default_pcm(), 256, 1.0, 300, rng);
-  auto pcm_aged = device::pcm_path_stats(device::default_pcm(), 256, 1e5, 300, rng);
+  const sweep::GridRef ref = bench::grid_ref_from_cli(
+      bench::grids::kAblationDevice, cli,
+      {"dim", "m", "trials", "cap", "seed"});
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
 
-  struct Tech {
-    const char* name;
-    double sigma;  ///< similarity counts per 256-row column
-    double gain;
-  };
-  const double col_scale = std::sqrt(static_cast<double>(dim) / 256.0);
-  std::vector<Tech> techs = {
-      {"RRAM (testchip stats)", rram.aggregate_sigma() * col_scale, rram.gain()},
-      {"PCM fresh (t=1s)", pcm_fresh.sigma * col_scale, pcm_fresh.gain},
-      {"PCM aged (t=1e5s)", pcm_aged.sigma * col_scale, pcm_aged.gain},
-      {"ideal (no device noise)", 0.0, 1.0},
-  };
-
-  sweep::SweepSpec spec;
-  spec.name = "ablation_device";
-  spec.base.dim = dim;
-  spec.base.factors = 3;
-  spec.base.codebook_size = M;
-  spec.base.trials = static_cast<std::size_t>(cli.i64("trials", 20));
-  spec.base.max_iterations = static_cast<std::size_t>(cli.i64("cap", 6000));
-  spec.base.seed = seed + 13;
-
-  std::vector<sweep::AxisPoint> points;
-  for (const Tech& tech : techs) {
-    sweep::AxisPoint p;
-    p.label = tech.name;
-    p.value = tech.sigma;
-    // Drift-induced gain applies uniformly to the similarity values; the
-    // sign activation is scale-invariant, so only the threshold/sigma ratio
-    // shifts: fold the gain into an effective threshold.
-    const double sigma_frac = tech.sigma / std::sqrt(static_cast<double>(dim));
-    const double threshold = 1.5 / std::max(tech.gain, 1e-3);
-    p.apply = [sigma_frac, threshold](sweep::Cell& c) {
-      c.params["sigma"] = sigma_frac;
-      c.params["theta"] = threshold;
-    };
-    p.meta["path_sigma_counts"] = util::Table::fmt(tech.sigma, 1);
-    p.meta["gain"] = util::Table::fmt(tech.gain, 3);
-    points.push_back(std::move(p));
-  }
-  spec.axes.push_back(sweep::Axis::custom("technology", std::move(points)));
-  spec.factory = bench::make_h3dfact_cell;
-
-  const auto results = sweep::run_sweep(
-      spec, bench::sweep_options_from_cli(cli, "ablation_device"));
+  const auto transport = bench::transport_from_cli(cli);
+  const auto options = bench::sweep_options_from_cli(cli, "ablation_device",
+                                                     &spec, ref, transport);
+  const auto results = sweep::run_sweep(spec, options);
   bench::emit_results(cli, spec, results);
 
   util::Table t("Ablation -- device statistics on the similarity path (F=3, M=" +

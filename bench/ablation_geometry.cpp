@@ -3,19 +3,24 @@
 // subarrays add parallelism at linear TSV/area cost. Prints the PPA of each
 // geometry at iso-dimension D = d*f = 1024.
 //
-// The geometry grid is declared with the sweep axis machinery (a custom
-// iso-dimension axis capturing d and f into Cell::params) and enumerated
-// through SweepSpec::cell — a trial-free sweep: each cell is evaluated by
-// the analytical PPA models instead of the trial runner.
+// The geometry grid is the registered "ablation_geometry" sweep grid
+// (bench/grids: a custom iso-dimension axis capturing d and f into
+// Cell::params) enumerated through SweepSpec::cell — a trial-free sweep:
+// each cell is evaluated by the analytical PPA models instead of the trial
+// runner, so it runs instantly and never needs remote workers. --filter
+// selects a cell subset like on the trial-driven grids.
 
 #include <iostream>
 #include <vector>
 
 #include "arch/design.hpp"
 #include "arch/interconnect.hpp"
+#include "grids/grids.hpp"
 #include "ppa/area_model.hpp"
 #include "ppa/energy_model.hpp"
 #include "ppa/timing_model.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -24,28 +29,20 @@ using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  (void)cli;
-
-  struct Geometry { std::size_t d, f; };
-  sweep::SweepSpec spec;
-  spec.name = "ablation_geometry";
-  std::vector<sweep::AxisPoint> points;
-  for (auto g : {Geometry{64, 16}, {128, 8}, {256, 4}, {512, 2}}) {
-    sweep::AxisPoint p;
-    p.label = "d" + std::to_string(g.d) + "/f" + std::to_string(g.f);
-    p.value = static_cast<double>(g.d);
-    p.apply = [g](sweep::Cell& c) {
-      c.params["d"] = static_cast<double>(g.d);
-      c.params["f"] = static_cast<double>(g.f);
-    };
-    points.push_back(std::move(p));
+  bench::grids::register_all();
+  const sweep::SweepSpec spec =
+      sweep::build_grid({bench::grids::kAblationGeometry, {}});
+  std::vector<std::size_t> cells;
+  if (const std::string expr = cli.str("filter", ""); !expr.empty()) {
+    cells = sweep::parse_cell_filter(expr, spec.cell_count());
+  } else {
+    for (std::size_t i = 0; i < spec.cell_count(); ++i) cells.push_back(i);
   }
-  spec.axes.push_back(sweep::Axis::custom("geometry", std::move(points)));
 
   util::Table t("Ablation -- array geometry at iso-dimension D = d*f = 1024");
   t.set_header({"d (rows)", "f (subarrays)", "TSVs", "area mm2", "TOPS",
                 "TOPS/mm2", "TOPS/W"});
-  for (std::size_t i = 0; i < spec.cell_count(); ++i) {
+  for (std::size_t i : cells) {
     const sweep::Cell cell = spec.cell(i);
     arch::FactorizerDims dims;
     dims.array_rows = static_cast<std::size_t>(cell.param("d", 256));

@@ -4,8 +4,11 @@
 // fails. Too little noise fails to escape spurious attractors; too much
 // destroys the similarity signal.
 //
-// Both sweeps are declarative one-axis grids over the channel parameters
-// ("sigma", "theta" in Cell::params) executed through the sharded runner.
+// Both sweeps are the registered "ablation_noise_sigma" /
+// "ablation_noise_theta" grids (bench/grids) executed through the sharded
+// runner; one --listen/--workers fleet serves both grids back to back (the
+// connections persist across run_sweep calls). --checkpoint keeps one file
+// per grid (suffixed .sigma / .theta).
 
 #include <cmath>
 #include <cstdint>
@@ -14,31 +17,46 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "grids/grids.hpp"
 
 using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  bench::grids::register_all();
   const std::size_t M = static_cast<std::size_t>(cli.i64("m", 128));
-  const auto options = bench::sweep_options_from_cli(cli, "ablation_noise");
+  const auto transport = bench::transport_from_cli(cli);
 
-  sweep::SweepSpec base;
-  base.base.dim = static_cast<std::size_t>(cli.i64("dim", 1024));
-  base.base.factors = 3;
-  base.base.codebook_size = M;
-  base.base.trials = static_cast<std::size_t>(cli.i64("trials", 20));
-  base.base.max_iterations = static_cast<std::size_t>(cli.i64("cap", 6000));
-  base.base.seed = static_cast<std::uint64_t>(cli.i64("seed", 321));
-  base.factory = bench::make_h3dfact_cell;
+  // Build both grids up front so a --filter invalid for EITHER fails
+  // before any sweep compute is spent (the grids differ in cell count).
+  const sweep::GridRef sigma_ref = bench::grid_ref_from_cli(
+      bench::grids::kAblationNoiseSigma, cli,
+      {"dim", "m", "trials", "cap", "seed"});
+  const sweep::GridRef theta_ref = bench::grid_ref_from_cli(
+      bench::grids::kAblationNoiseTheta, cli,
+      {"dim", "m", "trials", "cap", "seed"});
+  const sweep::SweepSpec sigma_spec = sweep::build_grid(sigma_ref);
+  const sweep::SweepSpec theta_spec = sweep::build_grid(theta_ref);
+  if (const std::string expr = cli.str("filter", ""); !expr.empty()) {
+    (void)sweep::parse_cell_filter(expr, sigma_spec.cell_count());
+    (void)sweep::parse_cell_filter(expr, theta_spec.cell_count());
+  }
 
   std::vector<sweep::CellResult> all_results;  // merged --csv/--json dump
-  auto print_sweep = [&](const sweep::SweepSpec& spec,
-                         const std::string& title,
-                         const std::string& axis_header,
-                         const std::string& note) {
+  std::size_t index_base = 0;  // offset per grid so merged rows stay unique
+  auto run_grid = [&](const sweep::GridRef& ref,
+                      const sweep::SweepSpec& spec, const char* suffix,
+                      const std::string& title,
+                      const std::string& axis_header,
+                      const std::string& note) {
+    auto options = bench::sweep_options_from_cli(cli, ref.name, &spec, ref,
+                                                 transport);
+    if (!options.checkpoint_path.empty()) options.checkpoint_path += suffix;
     auto results = sweep::run_sweep(spec, options);
-    // The merged dump spans both grids: offset indices so rows stay unique.
-    for (auto& r : results) r.index += all_results.size();
+    // Offset by the grid's CELL COUNT (not the result count — a --filter
+    // run returns fewer rows and count-based offsets would collide).
+    for (auto& r : results) r.index += index_base;
+    index_base += spec.cell_count();
     all_results.insert(all_results.end(), results.begin(), results.end());
     util::Table t(title);
     t.set_header({axis_header, "accuracy %", "median iters", "p99 iters"});
@@ -52,27 +70,18 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   };
 
-  sweep::SweepSpec sigma_spec = base;
-  sigma_spec.name = "ablation_noise_sigma";
-  sigma_spec.axes.push_back(
-      sweep::Axis::param("sigma", {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}));
-  print_sweep(sigma_spec,
-              "Ablation -- similarity-path noise sigma (F=3, M=" +
-                  std::to_string(M) + ")",
-              "sigma (x sqrt(D))",
-              "Design point used by H3DFact: sigma = 0.5 sqrt(D) with a "
-              "1.5 sqrt(D) sense threshold and 4-bit unsigned ADC.");
+  run_grid(sigma_ref, sigma_spec, ".sigma",
+           "Ablation -- similarity-path noise sigma (F=3, M=" +
+               std::to_string(M) + ")",
+           "sigma (x sqrt(D))",
+           "Design point used by H3DFact: sigma = 0.5 sqrt(D) with a "
+           "1.5 sqrt(D) sense threshold and 4-bit unsigned ADC.");
 
-  sweep::SweepSpec theta_spec = base;
-  theta_spec.name = "ablation_noise_theta";
-  theta_spec.base.seed += 7;
-  theta_spec.axes.push_back(
-      sweep::Axis::param("theta", {0.0, 0.75, 1.5, 2.5, 3.5}));
-  print_sweep(theta_spec,
-              "Ablation -- sense threshold (F=3, M=" + std::to_string(M) + ")",
-              "threshold (x sqrt(D))",
-              "The threshold sparsifies crosstalk out of the projection; "
-              "too high and the similarity signal itself is cut off.");
+  run_grid(theta_ref, theta_spec, ".theta",
+           "Ablation -- sense threshold (F=3, M=" + std::to_string(M) + ")",
+           "threshold (x sqrt(D))",
+           "The threshold sparsifies crosstalk out of the projection; "
+           "too high and the similarity signal itself is cut off.");
 
   sweep::SweepSpec combined;
   combined.name = "ablation_noise";

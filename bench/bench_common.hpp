@@ -2,17 +2,31 @@
 // Shared helpers for the experiment benches: every bench prints the rows /
 // series the paper reports, with the paper's published value alongside the
 // measured one. The grid benches declare a sweep::SweepSpec and execute it
-// through the sharded SweepRunner. Common CLI knobs:
+// through the sharded SweepRunner — locally, or across machines when the
+// distributed flags name a worker fleet (see docs/sweeps.md). Common CLI
+// knobs:
 //   --trials=N    trials per configuration (scaled-down defaults)
 //   --cap=N       iteration cap
 //   --seed=N      master seed
 //   --full        lift the scaled-down defaults to paper-scale settings
-//   --shards=N    worker processes for the sweep grid (default 1)
+//   --shards=N    local worker processes for the sweep grid (default 1)
 //   --cell-threads=N  threads inside each cell (default: auto)
 //   --csv=PATH / --json=PATH  dump the structured cell results
+//   --strip-wall  zero wall_seconds in the dumps (byte-stable artifacts)
+//   --filter=A-B,C  run only the named grid cells
+//   --checkpoint=PATH  resume from / keep a JSON checkpoint of done cells
+// Distributed execution (all grid benches):
+//   --listen=[host:]port  accept TCP sweep workers (`sweep_worker
+//                         --connect=host:port`) before running
+//   --workers=N           how many inbound TCP workers to wait for, or
+//   --workers=h:p,h:p     dial out to workers running `--listen`
+//   --worker-cmd="CMD"    spawn stdio workers (";;"-separated commands,
+//                         e.g. "ssh host sweep_worker --stdio")
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -22,8 +36,10 @@
 #include "resonator/resonator.hpp"
 #include "resonator/trial_runner.hpp"
 #include "sweep/emit.hpp"
+#include "sweep/registry.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
+#include "sweep/transport.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -51,10 +67,96 @@ inline resonator::TrialStats run_cell(
   return resonator::run_trials(cfg);
 }
 
+/// Split `text` on the (multi-character) separator `sep`, dropping empties.
+inline std::vector<std::string> split_list(const std::string& text,
+                                           const std::string& sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(sep, pos);
+    const std::string piece =
+        text.substr(pos, next == std::string::npos ? next : next - pos);
+    if (!piece.empty()) out.push_back(piece);
+    if (next == std::string::npos) break;
+    pos = next + sep.size();
+  }
+  return out;
+}
+
+/// A GridRef for `grid` carrying exactly the CLI keys the user set (both
+/// sides share the builder's defaults for the rest, so the ref stays
+/// minimal and the fingerprint check guards against default drift).
+inline sweep::GridRef grid_ref_from_cli(
+    const char* grid, const util::Cli& cli,
+    std::initializer_list<const char*> keys) {
+  sweep::GridRef ref;
+  ref.name = grid;
+  for (const char* key : keys) {
+    if (cli.has(key)) ref.params[key] = cli.str(key, "");
+  }
+  return ref;
+}
+
+/// Remote worker fleet from the distributed CLI flags (--listen /
+/// --workers / --worker-cmd); null when none are given. Construct ONCE per
+/// bench process and share across its sweeps — the connections persist.
+inline std::shared_ptr<sweep::Transport> transport_from_cli(
+    const util::Cli& cli) {
+  std::vector<std::shared_ptr<sweep::Transport>> parts;
+  const std::string listen = cli.str("listen", "");
+  const std::string workers = cli.str("workers", "");
+  std::vector<std::string> dial;
+  unsigned accept = 0;
+  if (!workers.empty()) {
+    if (workers.find(':') != std::string::npos) {
+      dial = split_list(workers, ",");
+    } else {
+      accept = static_cast<unsigned>(cli.i64("workers", 1));
+      if (listen.empty()) {
+        // Never drop a distributed request silently — an hours-long --full
+        // run quietly going local is far worse than an error.
+        throw std::invalid_argument(
+            "--workers=N (a worker count) needs --listen=[host:]port to "
+            "accept them; use --workers=host:port,... to dial out instead");
+      }
+    }
+  }
+  if (!listen.empty() || !dial.empty()) {
+    sweep::TcpConfig tcp;
+    tcp.listen = listen;
+    // Default to expecting one inbound worker only when --listen is the
+    // sole TCP request; --listen combined with a dial-out list must not
+    // block on inbound workers nobody asked for.
+    tcp.accept_workers =
+        listen.empty() ? 0 : (accept > 0 ? accept : (dial.empty() ? 1u : 0u));
+    tcp.connect = std::move(dial);
+    parts.push_back(std::make_shared<sweep::TcpTransport>(std::move(tcp)));
+  }
+  if (const std::string cmds = cli.str("worker-cmd", ""); !cmds.empty()) {
+    std::vector<std::string> commands = split_list(cmds, ";;");
+    if (commands.empty()) {
+      throw std::invalid_argument(
+          "--worker-cmd given but no commands parsed; separate worker "
+          "commands with ';;'");
+    }
+    parts.push_back(
+        std::make_shared<sweep::StdioTransport>(std::move(commands)));
+  }
+  if (parts.empty()) return nullptr;
+  if (parts.size() == 1) return parts.front();
+  return std::make_shared<sweep::CompositeTransport>(std::move(parts));
+}
+
 /// Sweep execution options from the shared CLI knobs, with a progress line
-/// per finished cell on stderr.
-inline sweep::SweepOptions sweep_options_from_cli(const util::Cli& cli,
-                                                  std::string label) {
+/// per finished cell on stderr. `ref`/`transport` enable distributed
+/// execution; `spec` validates the --filter selector. The --checkpoint
+/// path is taken verbatim — a bench running SEVERAL grids must suffix it
+/// per grid itself (see ablation_noise: .sigma/.theta), or the second
+/// grid's run will reject the first grid's checkpoint.
+inline sweep::SweepOptions sweep_options_from_cli(
+    const util::Cli& cli, std::string label,
+    const sweep::SweepSpec* spec = nullptr, sweep::GridRef ref = {},
+    std::shared_ptr<sweep::Transport> transport = nullptr) {
   sweep::SweepOptions opt;
   opt.shards = static_cast<unsigned>(cli.i64("shards", 1));
   opt.threads_per_cell = static_cast<unsigned>(cli.i64("cell-threads", 0));
@@ -64,22 +166,50 @@ inline sweep::SweepOptions sweep_options_from_cli(const util::Cli& cli,
     std::fprintf(stderr, "[%s] cell %zu done (%zu/%zu, %.2fs)\n",
                  label.c_str(), r.index, done, total, r.wall_seconds);
   };
+  opt.transport = std::move(transport);
+  opt.grid = std::move(ref);
+  if (spec != nullptr) {
+    if (const std::string expr = cli.str("filter", ""); !expr.empty()) {
+      opt.cells = sweep::parse_cell_filter(expr, spec->cell_count());
+    }
+    if (const std::string path = cli.str("checkpoint", ""); !path.empty()) {
+      opt.checkpoint_path = path;
+    }
+  }
   return opt;
 }
 
-/// Dump structured results to the paths named by --csv= / --json= (if any).
+/// The result of cell `index`, or nullptr when a --filter run skipped it.
+inline const sweep::CellResult* find_cell(
+    const std::vector<sweep::CellResult>& results, std::size_t index) {
+  for (const sweep::CellResult& r : results) {
+    if (r.index == index) return &r;
+  }
+  return nullptr;
+}
+
+/// Dump structured results to the paths named by --csv= / --json= (if
+/// any). --strip-wall zeroes the wall-clock column first, making the
+/// artifacts byte-comparable across runs, shard counts and transports.
 inline void emit_results(const util::Cli& cli, const sweep::SweepSpec& spec,
                          const std::vector<sweep::CellResult>& results) {
+  const std::vector<sweep::CellResult>* out = &results;
+  std::vector<sweep::CellResult> stripped;
+  if (cli.flag("strip-wall")) {
+    stripped = results;
+    for (sweep::CellResult& r : stripped) r.wall_seconds = 0.0;
+    out = &stripped;
+  }
   if (const std::string path = cli.str("csv", ""); !path.empty()) {
     std::ofstream os(path);
     if (!os) throw std::runtime_error("cannot write " + path);
-    sweep::write_csv(os, results);
+    sweep::write_csv(os, *out);
     std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(), path.c_str());
   }
   if (const std::string path = cli.str("json", ""); !path.empty()) {
     std::ofstream os(path);
     if (!os) throw std::runtime_error("cannot write " + path);
-    sweep::write_json(os, spec.name, results);
+    sweep::write_json(os, spec.name, *out);
     std::fprintf(stderr, "[%s] wrote %s\n", spec.name.c_str(), path.c_str());
   }
 }

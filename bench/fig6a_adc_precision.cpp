@@ -3,8 +3,9 @@
 // introduces quantization stochasticity that prevents the factorizer from
 // getting stuck, so it converges in fewer iterations at equal accuracy.
 //
-// Declared as a one-axis sweep over the ADC precision; --shards=2 runs the
-// two curves in parallel worker processes.
+// The registered "fig6a" grid (bench/grids) is a one-axis sweep over the
+// ADC precision; --shards=2 runs the two curves in parallel worker
+// processes, and --listen/--workers spreads them over TCP sweep workers.
 
 #include <cstdint>
 #include <iostream>
@@ -12,30 +13,33 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "grids/grids.hpp"
 
 using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  bench::grids::register_all();
   const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 300));
 
-  sweep::SweepSpec spec;
-  spec.name = "fig6a";
-  spec.base.dim = static_cast<std::size_t>(cli.i64("dim", 1024));
-  spec.base.factors = static_cast<std::size_t>(cli.i64("f", 3));
-  spec.base.codebook_size = static_cast<std::size_t>(cli.i64("m", 32));
-  spec.base.trials = static_cast<std::size_t>(cli.i64("trials", 100));
-  spec.base.max_iterations = cap;
-  spec.base.seed = static_cast<std::uint64_t>(cli.i64("seed", 606));
-  spec.base.record_correct_trace = true;
-  spec.axes.push_back(sweep::Axis::param("adc_bits", {4, 8}));
-  spec.factory = bench::make_h3dfact_cell;
+  const sweep::GridRef ref = bench::grid_ref_from_cli(
+      bench::grids::kFig6a, cli, {"dim", "f", "m", "trials", "cap", "seed"});
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
 
-  const auto results =
-      sweep::run_sweep(spec, bench::sweep_options_from_cli(cli, "fig6a"));
+  const auto transport = bench::transport_from_cli(cli);
+  const auto options =
+      bench::sweep_options_from_cli(cli, "fig6a", &spec, ref, transport);
+  const auto results = sweep::run_sweep(spec, options);
   bench::emit_results(cli, spec, results);
-  const resonator::TrialStats& low = results[0].stats;
-  const resonator::TrialStats& high = results[1].stats;
+  const sweep::CellResult* low_cell = bench::find_cell(results, 0);
+  const sweep::CellResult* high_cell = bench::find_cell(results, 1);
+  if (low_cell == nullptr || high_cell == nullptr) {
+    std::cout << "fig6a: partial run (--filter); both ADC cells are needed "
+                 "for the report — see --csv/--json for the raw results.\n";
+    return 0;
+  }
+  const resonator::TrialStats& low = low_cell->stats;
+  const resonator::TrialStats& high = high_cell->stats;
 
   util::Table t("Fig. 6a -- Accuracy vs iteration: 4-bit (H3DFact) vs 8-bit ADC");
   t.set_header({"iteration", "4-bit acc %", "8-bit acc %"});

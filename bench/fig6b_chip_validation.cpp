@@ -5,10 +5,11 @@
 // gain, and reports one-shot accuracy and the accuracy-vs-iteration curve
 // through the full device-level CIM path.
 //
-// The factorization campaign is a one-cell sweep whose factory builds the
-// device-level CIM engine (deterministically seeded from the cell seed):
-// the trial loop, trace histograms and the one-shot readout all come from
-// the shared trial runner instead of a hand-rolled loop.
+// The factorization campaign is the registered one-cell "fig6b" grid
+// (bench/grids) whose factory builds the device-level CIM engine
+// deterministically from the cell seed — so a remote sweep_worker models
+// the identical chip — and the trial loop, trace histograms and one-shot
+// readout all come from the shared trial runner.
 
 #include <algorithm>
 #include <cstdint>
@@ -17,17 +18,20 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "cim/engine.hpp"
 #include "device/rram_chip_data.hpp"
+#include "grids/grids.hpp"
 
 using namespace h3dfact;
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  bench::grids::register_all();
   const std::size_t cap = static_cast<std::size_t>(cli.i64("cap", 60));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 66));
 
   // --- Step 1: "measure" the testchip -------------------------------------
+  // (The registered grid builder repeats this reconstruction from the seed;
+  // this pass only feeds the setup report.)
   util::Rng rng(seed);
   auto params = device::default_rram_40nm();
   device::TestchipNoiseModel chip(256, params, 400, rng);
@@ -45,47 +49,16 @@ int main(int argc, char** argv) {
   m.print(std::cout);
 
   // --- Step 2: factorize through the device-level CIM path ---------------
-  // Visual-object scale problem (small per-attribute vocabularies, as in the
-  // Fig. 1a schema): one-shot accuracy is only meaningful at this scale,
-  // where the first similarity read already separates the correct items.
-  sweep::SweepSpec spec;
-  spec.name = "fig6b";
-  spec.base.dim = 1024;
-  spec.base.factors = static_cast<std::size_t>(cli.i64("f", 3));
-  spec.base.codebook_size = static_cast<std::size_t>(cli.i64("m", 7));
-  spec.base.trials = static_cast<std::size_t>(cli.i64("trials", 50));
-  spec.base.max_iterations = cap;
-  spec.base.seed = seed + 10;
-  spec.base.record_correct_trace = true;
-  // The modelled macros draw device noise per call; keep the sequential
-  // draw order (PR 2's batch-of-one replay guarantee applies per trial).
-  spec.base.execution = resonator::TrialExecution::kPerTrial;
+  const sweep::GridRef ref = bench::grid_ref_from_cli(
+      bench::grids::kFig6b, cli, {"f", "m", "trials", "cap", "seed"});
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
 
-  const double retune = chip.vtgt_retune_factor();
-  spec.factory = [params, retune](std::shared_ptr<const hdc::CodebookSet> set,
-                                  const sweep::Cell& cell) {
-    cim::MacroConfig mc;
-    mc.rows = 256;
-    mc.subarrays = 4;
-    mc.adc_bits = 4;
-    mc.rram = params;
-    // Programming the crossbars is stochastic: seed it from the cell seed
-    // so every worker builds the identical modelled chip.
-    util::Rng program_rng(cell.config.seed ^ 0xc1b0a7e57c41bULL);
-    auto engine = std::make_shared<cim::CimMvmEngine>(set, mc, program_rng);
-    engine->retune_vtgt(retune);
-    resonator::ResonatorOptions opts;
-    opts.max_iterations = cell.config.max_iterations;
-    opts.detect_limit_cycles = false;
-    opts.record_correct_trace = true;
-    return resonator::ResonatorNetwork(std::move(set), std::move(engine),
-                                       opts);
-  };
-
-  const auto results =
-      sweep::run_sweep(spec, bench::sweep_options_from_cli(cli, "fig6b"));
+  const auto transport = bench::transport_from_cli(cli);
+  const auto options =
+      bench::sweep_options_from_cli(cli, "fig6b", &spec, ref, transport);
+  const auto results = sweep::run_sweep(spec, options);
   bench::emit_results(cli, spec, results);
-  const resonator::TrialStats& stats = results[0].stats;
+  const resonator::TrialStats& stats = results.at(0).stats;
 
   util::Table t("Fig. 6b -- Testchip-validated factorization accuracy");
   t.set_header({"iteration", "accuracy %"});

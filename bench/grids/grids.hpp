@@ -1,0 +1,57 @@
+#pragma once
+// Registered paper grids: the declarative SweepSpecs behind every grid
+// bench, factored out of the bench mains so that BOTH sides of a
+// distributed sweep link the identical builders. The coordinator (a grid
+// bench run with --listen/--workers) sends a GridRef — the registered name
+// plus the CLI-derived parameters below — and every `sweep_worker` rebuilds
+// the spec through the same builder, proving the rebuild with the spec
+// fingerprint before any trial block flows.
+//
+// Registered grids and their parameters (all optional, shown with bench
+// defaults):
+//   table2                — full=0, dim=1024, seed=20240404, rows=0
+//   fig6a                 — dim=1024, f=3, m=32, trials=100, cap=300, seed=606
+//   fig6b                 — f=3, m=7, trials=50, cap=60, seed=66
+//   ablation_noise_sigma  — dim=1024, m=128, trials=20, cap=6000, seed=321
+//   ablation_noise_theta  — same as sigma (seed offset applied internally)
+//   ablation_device       — dim=1024, m=128, trials=20, cap=6000, seed=55
+//   ablation_geometry     — (trial-free: cells are evaluated analytically)
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/registry.hpp"
+
+namespace h3dfact::bench::grids {
+
+/// Registered grid names (use with sweep::GridRef / sweep::build_grid).
+inline constexpr const char* kTable2 = "table2";
+inline constexpr const char* kFig6a = "fig6a";
+inline constexpr const char* kFig6b = "fig6b";
+inline constexpr const char* kAblationNoiseSigma = "ablation_noise_sigma";
+inline constexpr const char* kAblationNoiseTheta = "ablation_noise_theta";
+inline constexpr const char* kAblationDevice = "ablation_device";
+inline constexpr const char* kAblationGeometry = "ablation_geometry";
+
+/// Register every paper grid with the sweep registry. Idempotent; called by
+/// the grid bench mains and by sweep_worker before serving.
+void register_all();
+
+/// One Table II row configuration (shared between the grid builder and the
+/// bench's report: the report needs the (F, M) layout of the size axis).
+struct Table2Row {
+  std::size_t F;            ///< factor count
+  std::size_t M;            ///< codebook size (the paper's "D" column)
+  std::size_t base_trials;  ///< baseline factorizer trial budget
+  std::size_t base_cap;     ///< baseline iteration cap
+  std::size_t h3d_trials;   ///< H3DFact trial budget
+  std::size_t h3d_cap;      ///< H3DFact iteration cap
+  double theta;             ///< VTGT sense threshold (crosstalk sigmas)
+  double sigma;             ///< device-noise sigma (crosstalk sigmas)
+};
+
+/// The Table II row list for a given scale (--full) and row trim (--rows).
+std::vector<Table2Row> table2_rows(bool full, std::size_t trim);
+
+}  // namespace h3dfact::bench::grids

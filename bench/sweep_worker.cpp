@@ -1,0 +1,94 @@
+// sweep_worker: a remote trial-block worker for the distributed sweep
+// runner. It links the same registered grid builders as the grid benches
+// (bench/grids), so a coordinator only has to send a grid name + parameters
+// and this process rebuilds the identical SweepSpec, proves it with the
+// spec fingerprint, and then executes chunk-aligned trial-block Task frames
+// until the coordinator shuts the connection down.
+//
+// Modes (exactly one):
+//   --connect=host:port   dial a coordinator running a grid bench with
+//                         --listen=port (retries while the coordinator is
+//                         still starting: --retries=N, --retry-ms=M)
+//   --listen=[host:]port  wait for a coordinator to dial in
+//                         (bench --workers=host:port,...), serve one
+//                         coordinator, then exit
+//   --stdio               speak the framed protocol on stdin/stdout; this
+//                         is the ssh transport ("ssh host sweep_worker
+//                         --stdio" spawned by bench --worker-cmd=...)
+//
+// Common flags:
+//   --cell-threads=N      override the coordinator-requested per-cell
+//                         thread count (0 = accept the request)
+//   --list                print the registered grid names and exit
+//
+// Determinism: per-cell seeds derive from (master seed, cell index) and
+// block merges are partition-invariant, so WHICH worker computes a block
+// never changes the statistics — byte-identical JSON against --shards=1.
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "grids/grids.hpp"
+#include "sweep/transport.hpp"
+#include "util/cli.hpp"
+
+using namespace h3dfact;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::grids::register_all();
+
+  if (cli.flag("list")) {
+    for (const std::string& name : sweep::registered_grids()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  const auto cell_threads =
+      static_cast<unsigned>(cli.i64("cell-threads", 0));
+  const std::string connect = cli.str("connect", "");
+  const std::string listen = cli.str("listen", "");
+  const bool stdio = cli.flag("stdio");
+
+  const int modes = (connect.empty() ? 0 : 1) + (listen.empty() ? 0 : 1) +
+                    (stdio ? 1 : 0);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "usage: sweep_worker (--connect=host:port | "
+                 "--listen=[host:]port | --stdio) [--cell-threads=N] "
+                 "[--retries=N] [--retry-ms=M] [--list]\n");
+    return 64;
+  }
+
+  try {
+    if (stdio) {
+      return sweep::serve_remote_worker(STDIN_FILENO, STDOUT_FILENO,
+                                        cell_threads);
+    }
+    if (!connect.empty()) {
+      const int retries = static_cast<int>(cli.i64("retries", 120));
+      const int retry_ms = static_cast<int>(cli.i64("retry-ms", 250));
+      const int fd = sweep::tcp_connect(connect, retries, retry_ms);
+      std::fprintf(stderr, "[sweep_worker] connected to %s\n",
+                   connect.c_str());
+      return sweep::serve_remote_worker(fd, fd, cell_threads);
+    }
+    // --listen: accept one coordinator, serve it, exit.
+    const int listen_fd = sweep::tcp_listen(listen);
+    std::fprintf(stderr, "[sweep_worker] listening on port %u\n",
+                 sweep::tcp_local_port(listen_fd));
+    const int timeout_ms =
+        static_cast<int>(cli.i64("accept-timeout-ms", 600000));
+    const int fd = sweep::tcp_accept(listen_fd, timeout_ms);
+    if (fd < 0) {
+      std::fprintf(stderr, "[sweep_worker] no coordinator connected\n");
+      return 1;
+    }
+    return sweep::serve_remote_worker(fd, fd, cell_threads);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[sweep_worker] %s\n", e.what());
+    return 1;
+  }
+}

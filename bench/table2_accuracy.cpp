@@ -3,14 +3,17 @@
 // H3DFact stochastic factorizer, across F in {3,4} and codebook sizes
 // M in {16..512} (the paper's "code vectors D" column).
 //
-// The table is declared as a sweep grid — factorizer axis × problem-size
-// axis, with per-cell trial budgets and the paper's published values
-// attached as cell metadata — and executed through the sharded SweepRunner
-// (--shards=N forks N workers; per-cell stats are bit-identical for every
-// shard count). Scaled-down defaults reproduce the table's *shape* in
-// minutes; --full extends the sweep to the largest paper sizes (hours).
-// --rows=N trims the problem-size axis (--rows=2 --shards=2 is the CI
-// smoke grid). --csv= / --json= dump the structured results.
+// The table is the registered "table2" sweep grid (bench/grids) — a
+// factorizer axis × problem-size axis with per-cell trial budgets and the
+// paper's published values attached as cell metadata — executed through the
+// sharded SweepRunner. --shards=N forks N local workers; --listen/--workers
+// spread the grid over TCP `sweep_worker` processes (per-cell stats are
+// bit-identical for every worker mix; see docs/sweeps.md). Scaled-down
+// defaults reproduce the table's *shape* in minutes; --full extends the
+// sweep to the largest paper sizes (hours) — use --checkpoint to survive
+// interruptions and --filter to re-run cell ranges. --rows=N trims the
+// problem-size axis (--rows=2 --shards=2 is the CI smoke grid).
+// --csv= / --json= dump the structured results.
 
 #include <cstdint>
 #include <cstdio>
@@ -19,143 +22,24 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "grids/grids.hpp"
 
 using namespace h3dfact;
 
-namespace {
-
-struct PaperCell {
-  const char* acc_base;
-  const char* acc_h3d;
-  const char* it_base;
-  const char* it_h3d;
-};
-
-// Paper Table II values, keyed by (F, M).
-PaperCell paper_cell(std::size_t F, std::size_t M) {
-  if (F == 3) {
-    switch (M) {
-      case 16: return {"99.4", "99.3", "4", "5"};
-      case 32: return {"99.3", "99.3", "13", "15"};
-      case 64: return {"99.1", "99.3", "43", "39"};
-      case 128: return {"96.9", "99.3", "Fail", "108"};
-      case 256: return {"10.8", "99.2", "Fail", "443"};
-      case 512: return {"0.2", "99.2", "Fail", "1685"};
-      default: break;
-    }
-  } else if (F == 4) {
-    switch (M) {
-      case 16: return {"99.2", "99.2", "31", "33"};
-      case 32: return {"99.1", "99.2", "234", "140"};
-      case 64: return {"89.9", "99.2", "Fail", "1347"};
-      case 128: return {"0", "99.2", "Fail", "17529"};
-      case 256: return {"0", "99.2", "Fail", "269931"};
-      case 512: return {"0", "99.2", "Fail", "2824079"};
-      default: break;
-    }
-  }
-  return {"-", "-", "-", "-"};
-}
-
-struct RowCfg {
-  std::size_t F;
-  std::size_t M;
-  std::size_t base_trials, base_cap;
-  std::size_t h3d_trials, h3d_cap;
-  double theta;  ///< VTGT sense threshold in crosstalk sigmas (Sec. V-D:
-                 ///< the readout peripheral retunes VTGT per operating point)
-  double sigma;  ///< device-noise sigma in crosstalk sigmas
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const bool full = cli.flag("full");
-  const std::size_t dim = static_cast<std::size_t>(cli.i64("dim", 1024));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.i64("seed", 20240404));
+  bench::grids::register_all();
 
-  // Scaled-down defaults (shape-preserving); --full lifts trials and caps.
-  // theta follows the VTGT tuning schedule: the sense threshold grows with
-  // codebook size (more crosstalk survivors to reject) and shrinks with
-  // factor count (weaker initial similarity signal).
-  std::vector<RowCfg> rows = {
-      {3, 16, 60, 500, 40, 1000, 1.5, 0.5},
-      {3, 32, 60, 1000, 40, 1000, 1.5, 0.5},
-      {3, 64, 40, 2000, 40, 2000, 1.5, 0.5},
-      {3, 128, 30, 2000, 25, 4000, 1.5, 0.5},
-      {3, 256, 15, 1000, 15, 8000, 2.0, 0.5},
-      {3, 512, 8, 500, 10, 50000, 3.0, 1.0},
-      {4, 16, 60, 1000, 40, 1000, 1.0, 0.5},
-      {4, 32, 40, 2000, 30, 4000, 1.5, 0.5},
-      {4, 64, 20, 2000, 12, 20000, 1.5, 0.5},
-  };
-  if (full) {
-    for (auto& r : rows) {
-      r.base_trials *= 3;
-      r.h3d_trials *= 3;
-      r.h3d_cap *= 4;
-    }
-    rows.push_back({4, 128, 20, 2000, 10, 200000, 1.75, 0.5});
-  }
-  if (const auto n = static_cast<std::size_t>(cli.i64("rows", 0));
-      n > 0 && n < rows.size()) {
-    rows.resize(n);
-  }
-
-  // --- grid declaration ----------------------------------------------------
-  sweep::SweepSpec spec;
-  spec.name = "table2";
-  spec.base.dim = dim;
-  spec.base.seed = seed;
-
-  spec.axes.push_back(sweep::Axis::custom(
-      "factorizer",
-      {sweep::AxisPoint{"baseline", 0.0,
-                        [](sweep::Cell& c) { c.params["stochastic"] = 0; },
-                        {}},
-       sweep::AxisPoint{"h3dfact", 1.0,
-                        [](sweep::Cell& c) { c.params["stochastic"] = 1; },
-                        {}}}));
-
-  std::vector<sweep::AxisPoint> size_points;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const RowCfg& r = rows[i];
-    sweep::AxisPoint p;
-    p.label = "F" + std::to_string(r.F) + "/M" + std::to_string(r.M);
-    p.value = static_cast<double>(r.M);
-    p.apply = [r, i](sweep::Cell& c) {
-      c.config.factors = r.F;
-      c.config.codebook_size = r.M;
-      c.params["row"] = static_cast<double>(i);
-      c.params["theta"] = r.theta;
-      c.params["sigma"] = r.sigma;
-    };
-    size_points.push_back(std::move(p));
-  }
-  spec.axes.push_back(sweep::Axis::custom("size", std::move(size_points)));
-
-  // Trial budgets and paper references depend on both coordinates at once.
-  spec.finalize = [rows](sweep::Cell& c) {
-    const RowCfg& r = rows[static_cast<std::size_t>(c.param("row", 0))];
-    const bool h3d = c.param("stochastic", 0) > 0.5;
-    c.config.trials = h3d ? r.h3d_trials : r.base_trials;
-    c.config.max_iterations = h3d ? r.h3d_cap : r.base_cap;
-    const PaperCell paper = paper_cell(r.F, r.M);
-    c.meta["paper_acc"] = h3d ? paper.acc_h3d : paper.acc_base;
-    c.meta["paper_iters"] = h3d ? paper.it_h3d : paper.it_base;
-  };
-
-  spec.factory = [](std::shared_ptr<const hdc::CodebookSet> s,
-                    const sweep::Cell& cell) {
-    if (cell.param("stochastic", 0) < 0.5) {
-      return resonator::make_baseline(std::move(s), cell.config);
-    }
-    return bench::make_h3dfact_cell(std::move(s), cell);
-  };
+  const sweep::GridRef ref = bench::grid_ref_from_cli(
+      bench::grids::kTable2, cli, {"full", "dim", "seed", "rows"});
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+  const std::vector<bench::grids::Table2Row> rows = bench::grids::table2_rows(
+      cli.flag("full"), static_cast<std::size_t>(cli.i64("rows", 0)));
 
   // --- execution -----------------------------------------------------------
-  const auto options = bench::sweep_options_from_cli(cli, "table2");
+  const auto transport = bench::transport_from_cli(cli);
+  const auto options =
+      bench::sweep_options_from_cli(cli, "table2", &spec, ref, transport);
   const auto results = sweep::run_sweep(spec, options);
   bench::emit_results(cli, spec, results);
 
@@ -163,23 +47,35 @@ int main(int argc, char** argv) {
   util::Table t("Table II -- Accuracy & Operational Capacity (measured vs paper)");
   t.set_header({"F", "M", "acc base %", "(paper)", "acc H3D %", "(paper)",
                 "iters base", "(paper)", "iters H3D", "(paper)"});
-  // Cell index = factorizer * rows + row (the size axis varies fastest).
+  // Cell index = factorizer * rows + row (the size axis varies fastest);
+  // --filter runs may have holes, reported as "-".
   const std::size_t stride = rows.size();
   double total_cell_seconds = 0.0;
   for (const auto& r : results) total_cell_seconds += r.wall_seconds;
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const sweep::CellResult& base = results[i];
-    const sweep::CellResult& h3d = results[stride + i];
+    const sweep::CellResult* base = bench::find_cell(results, i);
+    const sweep::CellResult* h3d = bench::find_cell(results, stride + i);
+    if (base == nullptr && h3d == nullptr) continue;
+    auto acc = [](const sweep::CellResult* r) {
+      return r ? bench::acc_pct(r->stats) : std::string("-");
+    };
+    auto iters = [](const sweep::CellResult* r) {
+      return r ? bench::iters_or_fail(r->stats) : std::string("-");
+    };
+    auto paper = [](const sweep::CellResult* r, const char* key) {
+      return r ? r->meta.at(key) : std::string("-");
+    };
     t.add_row({util::Table::fmt_int(static_cast<long long>(rows[i].F)),
                util::Table::fmt_int(static_cast<long long>(rows[i].M)),
-               bench::acc_pct(base.stats), base.meta.at("paper_acc"),
-               bench::acc_pct(h3d.stats), h3d.meta.at("paper_acc"),
-               bench::iters_or_fail(base.stats), base.meta.at("paper_iters"),
-               bench::iters_or_fail(h3d.stats), h3d.meta.at("paper_iters")});
+               acc(base), paper(base, "paper_acc"),
+               acc(h3d), paper(h3d, "paper_acc"),
+               iters(base), paper(base, "paper_iters"),
+               iters(h3d), paper(h3d, "paper_iters")});
   }
 
   t.add_note("M = codebook size per factor (the paper's Table II 'D' column); "
-             "hypervector dimension N=" + std::to_string(dim) + ".");
+             "hypervector dimension N=" +
+             std::to_string(spec.base.dim) + ".");
   t.add_note("Iterations = 99th-percentile over trials ('Fail' if <99% of "
              "trials converged within the cap), matching the paper's metric.");
   t.add_note("Scaled-down trials/caps by default; run with --full for "
@@ -191,10 +87,16 @@ int main(int argc, char** argv) {
              "stochastic H3D factorizer holds ~99% with growing iterations "
              "(five orders of magnitude more capacity at F=4, M=512).");
   t.add_note("Sum of per-cell compute: " +
-             util::Table::fmt(total_cell_seconds, 2) +
-             " s across " + std::to_string(results.size()) +
-             " cells; rerun with --shards=N to spread cells over N worker "
-             "processes (identical per-cell stats).");
+             util::Table::fmt(total_cell_seconds, 2) + " s across " +
+             std::to_string(results.size()) +
+             " cells; spread them with --shards=N (local workers) or "
+             "--listen/--workers (TCP sweep_worker fleet) — per-cell stats "
+             "are identical either way.");
+  if (!options.cells.empty()) {
+    t.add_note("Partial run (--filter): " + std::to_string(results.size()) +
+               " of " + std::to_string(spec.cell_count()) +
+               " cells; missing cells print as '-'.");
+  }
   t.print(std::cout);
   return 0;
 }

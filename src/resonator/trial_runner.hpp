@@ -37,13 +37,14 @@ enum class TrialExecution {
 /// Experiment configuration.
 struct TrialConfig {
   std::size_t dim = 1024;        ///< hypervector dimension D
-  std::size_t factors = 3;       ///< F
+  std::size_t factors = 3;       ///< factor count F
   std::size_t codebook_size = 16;///< M (the paper's Table II "D" column)
-  std::size_t trials = 100;
-  std::size_t max_iterations = 1000;
+  std::size_t trials = 100;      ///< independent factorization trials
+  std::size_t max_iterations = 1000;  ///< per-trial iteration cap
   double query_flip_prob = 0.0;  ///< query noise (perceptual frontend)
-  std::uint64_t seed = 1;
-  unsigned threads = 0;          ///< 0 = hardware concurrency
+  std::uint64_t seed = 1;        ///< master seed (per-trial streams derive)
+  unsigned threads = 0;          ///< worker threads; 0 = hardware concurrency
+  /// How trial blocks drive the MVM engine (see TrialExecution).
   TrialExecution execution = TrialExecution::kBatched;
   /// Record per-iteration correctness traces (accuracy-vs-iteration curves,
   /// Fig. 6a/6b). Threaded through the factory: the network it builds must
@@ -73,9 +74,11 @@ struct TrialStats {
   /// the paper's "one-shot" readout (Fig. 6b).
   std::vector<std::size_t> correct_raw_by_iteration;
 
+  /// Fraction of trials whose final decode matched the ground truth.
   [[nodiscard]] double accuracy() const {
     return trials ? static_cast<double>(correct) / static_cast<double>(trials) : 0.0;
   }
+  /// Fraction of trials whose composed decode reproduced the query.
   [[nodiscard]] double solve_rate() const {
     return trials ? static_cast<double>(solved) / static_cast<double>(trials) : 0.0;
   }

@@ -7,10 +7,17 @@
 // coordinates/params/config/stats subobjects). Both formats are stable,
 // golden-file-tested renderings: a sweep re-run with the same spec emits
 // byte-identical files apart from the wall-clock fields.
+//
+// The JSON artifact carries the complete per-cell statistics — including
+// every iteration sample and trace histogram — so it round-trips through
+// read_json without loss. That makes the artifact double as the sweep
+// checkpoint (SweepOptions::checkpoint_path): an interrupted --full run
+// resumes from the completed cells recorded in its own emitter output.
 
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "sweep/runner.hpp"
 
@@ -21,7 +28,7 @@ namespace h3dfact::sweep {
 /// statistics, wall seconds, then one column per metadata key (sorted).
 void write_csv(std::ostream& os, std::span<const CellResult> results);
 
-/// JSON document {"sweep": name, "cells": [...]}.
+/// JSON document {"sweep": name, "cells": [...]}, lossless per cell.
 void write_json(std::ostream& os, const std::string& sweep_name,
                 std::span<const CellResult> results);
 
@@ -29,5 +36,21 @@ void write_json(std::ostream& os, const std::string& sweep_name,
 std::string csv_string(std::span<const CellResult> results);
 std::string json_string(const std::string& sweep_name,
                         std::span<const CellResult> results);
+
+/// A parsed sweep JSON artifact: the sweep name and its cells, with the
+/// TrialStats fully reconstructed (Welford accumulators rebuilt from the
+/// recorded samples, bit-identical to the emitting run).
+struct SweepDocument {
+  std::string sweep;               ///< the emitting sweep's name
+  std::vector<CellResult> cells;   ///< cells in file order
+};
+
+/// Parse a document produced by write_json (the checkpoint/resume reader).
+/// Throws std::runtime_error on malformed JSON or a missing required
+/// field; derived statistics columns are recomputed, not trusted.
+SweepDocument read_json(std::istream& is);
+
+/// read_json over an in-memory string (tests, diffing tools).
+SweepDocument read_json_string(const std::string& text);
 
 }  // namespace h3dfact::sweep

@@ -1,0 +1,180 @@
+#pragma once
+// Wire protocol for sweep task distribution (the sweep subsystem's transport
+// seam, part 1: framing and payload codecs).
+//
+// Every byte that crosses a worker boundary — fork pipe, subprocess
+// stdin/stdout, or TCP socket — is a length-framed little-endian record:
+//
+//     [u8 kind][u64 payload bytes][payload]
+//
+// The payload codecs below are flat field dumps (no self-description): both
+// ends agree on the layout through kProtocolVersion, which the Hello/
+// HelloAck handshake verifies before any task flows. Remote workers rebuild
+// the SweepSpec from a registered grid name + parameters (see registry.hpp)
+// and prove they resolved the *same* grid by echoing spec_fingerprint().
+//
+// Fork-pipe workers share the coordinator's memory image, so they skip the
+// handshake and speak only Task/Result/Error frames — the exact frames the
+// remote transports use, so one scheduler drives every transport.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
+
+namespace h3dfact::sweep {
+
+/// Protocol magic ("H3SW"): the first field of every Hello frame. A peer
+/// that opens with anything else is not a sweep worker.
+inline constexpr std::uint32_t kProtocolMagic = 0x48335357u;
+
+/// Wire-format version. Bumped whenever any frame layout changes; the
+/// Hello/HelloAck handshake rejects a peer with a different version.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload (1 GiB). A length field beyond this is
+/// treated as a malformed stream, not an allocation request.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Frame discriminator (the leading byte of every frame).
+enum class FrameKind : std::uint8_t {
+  kHello = 1,     ///< worker -> coordinator: magic + version (first frame)
+  kHelloAck = 2,  ///< coordinator -> worker: version accepted
+  kSpecInit = 3,  ///< coordinator -> worker: grid name/params to rebuild
+  kSpecReady = 4, ///< worker -> coordinator: spec rebuilt, fingerprint echo
+  kTask = 5,      ///< coordinator -> worker: one cell trial-block assignment
+  kResult = 6,    ///< worker -> coordinator: completed block statistics
+  kError = 7,     ///< either direction: fatal failure, human-readable reason
+  kShutdown = 8,  ///< coordinator -> worker: no more sweeps, exit cleanly
+};
+
+/// One decoded frame: the kind byte plus its raw payload.
+struct Frame {
+  FrameKind kind = FrameKind::kError;
+  std::string payload;
+};
+
+// --- primitive codecs -------------------------------------------------------
+
+/// Append a little-endian u64 to `out`.
+void put_u64(std::string& out, std::uint64_t v);
+/// Append a little-endian u32 to `out`.
+void put_u32(std::string& out, std::uint32_t v);
+/// Append the IEEE-754 bit pattern of `v` as a little-endian u64.
+void put_f64(std::string& out, double v);
+/// Append a u64 length prefix followed by the string bytes.
+void put_str(std::string& out, std::string_view s);
+
+/// Sequential reader over an encoded payload. Every accessor throws
+/// std::runtime_error("truncated sweep protocol message") past the end, so
+/// a truncated or corrupted payload surfaces as a typed error instead of an
+/// out-of-bounds read.
+struct WireReader {
+  const char* data = nullptr;
+  std::size_t len = 0;
+  std::size_t pos = 0;
+
+  explicit WireReader(std::string_view payload)
+      : data(payload.data()), len(payload.size()) {}
+
+  /// Throw unless `n` more bytes are available.
+  void need(std::size_t n) const;
+  /// Read one little-endian u64.
+  std::uint64_t u64();
+  /// Read one little-endian u32.
+  std::uint32_t u32();
+  /// Read one IEEE-754 double (u64 bit pattern).
+  double f64();
+  /// Read one length-prefixed string.
+  std::string str();
+  /// True once every byte has been consumed (strict decoders check this).
+  [[nodiscard]] bool exhausted() const { return pos == len; }
+};
+
+// --- framing ----------------------------------------------------------------
+
+/// Serialize one frame: kind byte, u64 payload length, payload.
+std::string encode_frame(FrameKind kind, std::string_view payload);
+
+/// Incremental frame decoder for a byte stream. Feed whatever the fd
+/// produced; next() yields complete frames in order and std::nullopt when
+/// more bytes are needed. A structurally invalid stream (unknown kind byte,
+/// payload length above kMaxFramePayload) throws std::runtime_error — the
+/// caller must treat the peer as broken and drop the connection.
+class FrameParser {
+ public:
+  /// Append raw bytes from the stream.
+  void feed(const char* data, std::size_t n);
+  /// Pop the next complete frame, if one is buffered.
+  std::optional<Frame> next();
+  /// Bytes currently buffered (for tests and diagnostics).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// --- payload codecs ---------------------------------------------------------
+
+/// Hello payload: protocol magic + version, sent by the worker as its very
+/// first frame on any remote transport.
+struct HelloFrame {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint32_t version = kProtocolVersion;
+};
+
+std::string encode_hello(const HelloFrame& hello);
+HelloFrame decode_hello(std::string_view payload);
+
+/// SpecInit payload: everything a remote worker needs to rebuild the grid —
+/// the registered grid name, its string parameters, the worker-side thread
+/// count per cell (0 = worker's own default), and the coordinator's
+/// cell_count/fingerprint for cross-checking the rebuild.
+struct SpecInitFrame {
+  GridRef grid;
+  std::uint64_t cell_threads = 0;
+  std::uint64_t cell_count = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+std::string encode_spec_init(const SpecInitFrame& init);
+SpecInitFrame decode_spec_init(std::string_view payload);
+
+/// SpecReady payload: the worker's own resolution of the grid; must match
+/// the SpecInit values or the coordinator aborts the sweep.
+struct SpecReadyFrame {
+  std::uint64_t cell_count = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+std::string encode_spec_ready(const SpecReadyFrame& ready);
+SpecReadyFrame decode_spec_ready(std::string_view payload);
+
+/// Task payload: one chunk-aligned trial-block assignment, [begin, end) of
+/// cell `cell`'s trials (see resonator::kTrialBlockAlign).
+struct TaskFrame {
+  std::uint64_t cell = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+std::string encode_task(const TaskFrame& task);
+TaskFrame decode_task(std::string_view payload);
+
+/// Result payload: the block's begin offset (merge ordering key) plus the
+/// full CellResult field dump, including every TrialStats sample so the
+/// coordinator's merge is bit-identical to an unsharded run.
+std::string encode_result(std::size_t block_begin, const CellResult& result);
+std::pair<std::size_t, CellResult> decode_result(std::string_view payload);
+
+/// Order- and schedule-independent digest of a resolved grid: hashes every
+/// cell's config echo, parameters, coordinates and metadata. Two processes
+/// that agree on the fingerprint resolve every cell identically, so their
+/// trial blocks merge into bit-identical statistics.
+std::uint64_t spec_fingerprint(const SweepSpec& spec);
+
+}  // namespace h3dfact::sweep

@@ -4,20 +4,27 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
+
+#include "sweep/emit.hpp"
+#include "sweep/protocol.hpp"
+#include "sweep/transport.hpp"
 
 #if !defined(_WIN32)
 #define H3DFACT_SWEEP_HAS_FORK 1
 #include <poll.h>
 #include <signal.h>  // NOLINT(modernize-deprecated-headers) — POSIX kill()
-#include <sys/wait.h>
 #include <unistd.h>
 #endif
 
@@ -28,7 +35,7 @@ namespace {
 // --- work decomposition ----------------------------------------------------
 // The unit of work is a contiguous, chunk-aligned block of one cell's
 // trials, so a single heavy cell (Table II's F=3/M=512 point is ~60% of the
-// default grid's compute) spreads across shards instead of serializing the
+// default grid's compute) spreads across workers instead of serializing the
 // tail. Blocks merge with TrialStats::merge_block, which is partition-
 // invariant by construction.
 
@@ -39,16 +46,17 @@ struct Task {
   double cost = 0.0;  ///< crude estimate for longest-first scheduling
 };
 
-std::vector<Task> build_tasks(const SweepSpec& spec, std::size_t total,
-                              unsigned shards) {
+std::vector<Task> build_tasks(const SweepSpec& spec,
+                              const std::vector<std::size_t>& selected,
+                              std::size_t nworkers) {
   std::vector<Task> tasks;
-  for (std::size_t i = 0; i < total; ++i) {
+  for (std::size_t i : selected) {
     const Cell cell = spec.cell(i);
     const std::size_t trials = cell.config.trials;
     const std::size_t align = resonator::kTrialBlockAlign;
     const std::size_t nchunks = (trials + align - 1) / align;
     const std::size_t pieces =
-        std::max<std::size_t>(1, std::min<std::size_t>(shards, nchunks));
+        std::max<std::size_t>(1, std::min<std::size_t>(nworkers, nchunks));
     // Distribute chunks as evenly as possible over the pieces.
     const std::size_t q = nchunks / pieces;
     const std::size_t r = nchunks % pieces;
@@ -76,10 +84,117 @@ std::vector<Task> build_tasks(const SweepSpec& spec, std::size_t total,
   return tasks;
 }
 
+// Reassembles cells from their trial-block partials, merged in ascending
+// block order so the statistics equal an unsharded run bit for bit.
+class CellAssembler {
+ public:
+  CellAssembler(const SweepSpec& spec,
+                const std::vector<std::size_t>& selected) {
+    for (std::size_t i : selected) {
+      expected_[i] = spec.cell(i).config.trials;
+    }
+  }
+
+  /// Add one partial; returns the completed cell once all blocks arrived.
+  std::optional<CellResult> add(std::size_t begin, CellResult partial) {
+    const std::size_t cell = partial.index;
+    auto& parts = pending_[cell];
+    parts.emplace_back(begin, std::move(partial));
+    std::size_t have = 0;
+    for (const auto& [b, p] : parts) have += p.stats.trials;
+    if (have < expected_.at(cell)) return std::nullopt;
+    std::sort(parts.begin(), parts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    CellResult out = std::move(parts.front().second);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      out.stats.merge_block(parts[i].second.stats);
+      out.wall_seconds += parts[i].second.wall_seconds;
+    }
+    pending_.erase(cell);
+    return out;
+  }
+
+ private:
+  std::map<std::size_t, std::size_t> expected_;
+  std::map<std::size_t, std::vector<std::pair<std::size_t, CellResult>>>
+      pending_;
+};
+
+// Collects completed cells (checkpoint-resumed ones pre-seeded), drives the
+// progress callback with resume-aware counts and keeps the checkpoint file
+// current. NOT thread-safe: the thread path serializes calls with its own
+// mutex; the channel scheduler is single-threaded.
+class CompletionLog {
+ public:
+  CompletionLog(const SweepOptions& options, std::string sweep_name,
+                std::vector<CellResult> resumed, std::size_t selected_count)
+      : options_(options),
+        sweep_name_(std::move(sweep_name)),
+        results_(std::move(resumed)),
+        total_(results_.size() + selected_count) {
+    // Checkpoints we emitted are sorted already; a hand-edited one may not
+    // be, and complete() relies on the sorted invariant.
+    std::sort(results_.begin(), results_.end(),
+              [](const CellResult& a, const CellResult& b) {
+                return a.index < b.index;
+              });
+  }
+
+  void complete(CellResult result) {
+    // Keep results_ sorted by cell index as they land, so checkpoint
+    // writes serialize it directly instead of copy-sorting every cell's
+    // sample arrays on each completion.
+    auto pos = std::upper_bound(results_.begin(), results_.end(), result,
+                                [](const CellResult& a, const CellResult& b) {
+                                  return a.index < b.index;
+                                });
+    pos = results_.insert(pos, std::move(result));
+    if (!options_.checkpoint_path.empty()) write_checkpoint();
+    if (options_.progress) {
+      options_.progress(*pos, results_.size(), total_);
+    }
+  }
+
+  [[nodiscard]] std::size_t completed() const { return results_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Final results, sorted by cell index.
+  std::vector<CellResult> take() { return std::move(results_); }
+
+ private:
+  // Atomic full-file rewrite per completed cell: the grids are tens of
+  // cells finishing at multi-second cadence, so a JSON pass over results_
+  // is noise next to one trial block — and the checkpoint is always a
+  // complete, valid artifact.
+  void write_checkpoint() {
+    const std::string tmp = options_.checkpoint_path + ".tmp";
+    bool ok = false;
+    {
+      std::ofstream os(tmp);
+      if (!os) return;  // checkpointing is best-effort; the sweep goes on
+      write_json(os, sweep_name_, results_);
+      os.flush();
+      ok = os.good();  // a failed write (ENOSPC) must NOT clobber the
+                       // last valid checkpoint via the rename below
+    }
+    if (ok) {
+      std::rename(tmp.c_str(), options_.checkpoint_path.c_str());
+    } else {
+      std::remove(tmp.c_str());
+    }
+  }
+
+  const SweepOptions& options_;
+  std::string sweep_name_;
+  std::vector<CellResult> results_;
+  std::size_t total_;
+};
+
 // Execute one task in the calling process.
-CellResult run_cell_block(const SweepSpec& spec, const Task& task,
-                          unsigned threads_override) {
-  Cell cell = spec.cell(task.cell);
+CellResult run_block(const SweepSpec& spec, std::size_t index,
+                     std::size_t begin, std::size_t end,
+                     unsigned threads_override) {
+  Cell cell = spec.cell(index);
   if (threads_override != 0) cell.config.threads = threads_override;
   if (spec.factory) {
     // The factory sees the resolved cell; snapshot it BEFORE installing the
@@ -95,7 +210,7 @@ CellResult run_cell_block(const SweepSpec& spec, const Task& task,
 
   const auto start = std::chrono::steady_clock::now();
   resonator::TrialStats stats =
-      resonator::run_trial_block(cell.config, task.begin, task.end);
+      resonator::run_trial_block(cell.config, begin, end);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
 
@@ -116,225 +231,88 @@ CellResult run_cell_block(const SweepSpec& spec, const Task& task,
   return r;
 }
 
-// Reassembles cells from their trial-block partials, merged in ascending
-// block order so the statistics equal an unsharded run bit for bit.
-class CellAssembler {
- public:
-  CellAssembler(const SweepSpec& spec, std::size_t total) {
-    expected_.reserve(total);
-    for (std::size_t i = 0; i < total; ++i) {
-      expected_.push_back(spec.cell(i).config.trials);
-    }
-  }
-
-  /// Add one partial; returns the completed cell once all blocks arrived.
-  std::optional<CellResult> add(std::size_t begin, CellResult partial) {
-    const std::size_t cell = partial.index;
-    auto& parts = pending_[cell];
-    parts.emplace_back(begin, std::move(partial));
-    std::size_t have = 0;
-    for (const auto& [b, p] : parts) have += p.stats.trials;
-    if (have < expected_[cell]) return std::nullopt;
-    std::sort(parts.begin(), parts.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    CellResult out = std::move(parts.front().second);
-    for (std::size_t i = 1; i < parts.size(); ++i) {
-      out.stats.merge_block(parts[i].second.stats);
-      out.wall_seconds += parts[i].second.wall_seconds;
-    }
-    pending_.erase(cell);
-    return out;
-  }
-
- private:
-  std::vector<std::size_t> expected_;
-  std::map<std::size_t, std::vector<std::pair<std::size_t, CellResult>>>
-      pending_;
-};
-
-// --- result wire format ----------------------------------------------------
-// Results cross the shard pipes as length-framed little-endian records:
-//   [u8 kind][u64 payload bytes][payload]
-// kind 0 = cell-block result (payload: u64 block begin + CellResult dump),
-// kind 1 = worker error (payload is the what() string). The payload is a
-// flat field dump; both ends live in one binary, so no versioning concern.
-
-constexpr std::uint8_t kMsgResult = 0;
-constexpr std::uint8_t kMsgError = 1;
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof bits);
-  put_u64(out, bits);
-}
-
-void put_str(std::string& out, const std::string& s) {
-  put_u64(out, s.size());
-  out.append(s);
-}
-
-struct Reader {
-  const char* data;
-  std::size_t len;
-  std::size_t pos = 0;
-
-  void need(std::size_t n) const {
-    if (pos + n > len) {
-      throw std::runtime_error("truncated sweep result message");
-    }
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
-               data[pos + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    }
-    pos += 8;
-    return v;
-  }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
-  }
-  std::string str() {
-    const std::size_t n = static_cast<std::size_t>(u64());
-    need(n);
-    std::string s(data + pos, n);
-    pos += n;
-    return s;
-  }
-};
-
-std::string encode_result(std::size_t block_begin, const CellResult& r) {
-  std::string out;
-  put_u64(out, block_begin);
-  put_u64(out, r.index);
-  put_u64(out, r.coordinates.size());
-  for (const auto& [axis, label] : r.coordinates) {
-    put_str(out, axis);
-    put_str(out, label);
-  }
-  put_u64(out, r.params.size());
-  for (const auto& [k, v] : r.params) {
-    put_str(out, k);
-    put_f64(out, v);
-  }
-  put_u64(out, r.meta.size());
-  for (const auto& [k, v] : r.meta) {
-    put_str(out, k);
-    put_str(out, v);
-  }
-  put_u64(out, r.dim);
-  put_u64(out, r.factors);
-  put_u64(out, r.codebook_size);
-  put_u64(out, r.trials);
-  put_u64(out, r.max_iterations);
-  put_f64(out, r.query_flip_prob);
-  put_u64(out, r.seed);
-
-  const resonator::TrialStats& s = r.stats;
-  put_u64(out, s.trials);
-  put_u64(out, s.solved);
-  put_u64(out, s.correct);
-  put_u64(out, s.cycles);
-  put_u64(out, s.iteration_samples.size());
-  for (double x : s.iteration_samples) put_f64(out, x);
-  put_u64(out, s.correct_by_iteration.size());
-  for (std::size_t x : s.correct_by_iteration) put_u64(out, x);
-  put_u64(out, s.correct_raw_by_iteration.size());
-  for (std::size_t x : s.correct_raw_by_iteration) put_u64(out, x);
-  put_f64(out, r.wall_seconds);
-  return out;
-}
-
-std::pair<std::size_t, CellResult> decode_result(const char* data,
-                                                 std::size_t len) {
-  Reader in{data, len};
-  const std::size_t block_begin = static_cast<std::size_t>(in.u64());
-  CellResult r;
-  r.index = static_cast<std::size_t>(in.u64());
-  const std::size_t ncoords = static_cast<std::size_t>(in.u64());
-  r.coordinates.reserve(ncoords);
-  for (std::size_t i = 0; i < ncoords; ++i) {
-    std::string axis = in.str();
-    std::string label = in.str();
-    r.coordinates.emplace_back(std::move(axis), std::move(label));
-  }
-  const std::size_t nparams = static_cast<std::size_t>(in.u64());
-  for (std::size_t i = 0; i < nparams; ++i) {
-    std::string k = in.str();
-    r.params[std::move(k)] = in.f64();
-  }
-  const std::size_t nmeta = static_cast<std::size_t>(in.u64());
-  for (std::size_t i = 0; i < nmeta; ++i) {
-    std::string k = in.str();
-    r.meta[std::move(k)] = in.str();
-  }
-  r.dim = static_cast<std::size_t>(in.u64());
-  r.factors = static_cast<std::size_t>(in.u64());
-  r.codebook_size = static_cast<std::size_t>(in.u64());
-  r.trials = static_cast<std::size_t>(in.u64());
-  r.max_iterations = static_cast<std::size_t>(in.u64());
-  r.query_flip_prob = in.f64();
-  r.seed = in.u64();
-
-  resonator::TrialStats& s = r.stats;
-  s.trials = static_cast<std::size_t>(in.u64());
-  s.solved = static_cast<std::size_t>(in.u64());
-  s.correct = static_cast<std::size_t>(in.u64());
-  s.cycles = static_cast<std::size_t>(in.u64());
-  const std::size_t nsamples = static_cast<std::size_t>(in.u64());
-  s.iteration_samples.reserve(nsamples);
-  for (std::size_t i = 0; i < nsamples; ++i) {
-    s.iteration_samples.push_back(in.f64());
-  }
-  // Rebuild the Welford accumulator by sequential adds over the sample
-  // order, matching exactly how the worker built its own copy.
-  for (double x : s.iteration_samples) s.iterations_solved.add(x);
-  const std::size_t nhist = static_cast<std::size_t>(in.u64());
-  s.correct_by_iteration.reserve(nhist);
-  for (std::size_t i = 0; i < nhist; ++i) {
-    s.correct_by_iteration.push_back(static_cast<std::size_t>(in.u64()));
-  }
-  const std::size_t nraw = static_cast<std::size_t>(in.u64());
-  s.correct_raw_by_iteration.reserve(nraw);
-  for (std::size_t i = 0; i < nraw; ++i) {
-    s.correct_raw_by_iteration.push_back(static_cast<std::size_t>(in.u64()));
-  }
-  r.wall_seconds = in.f64();
-  return {block_begin, std::move(r)};
-}
-
-unsigned effective_cell_threads(const SweepOptions& options, unsigned shards) {
+unsigned effective_cell_threads(const SweepOptions& options,
+                                unsigned local_workers) {
   if (options.threads_per_cell != 0) return options.threads_per_cell;
-  // With several shards the shards ARE the parallelism; nested thread pools
-  // would only oversubscribe the cores.
-  return shards > 1 ? 1u : 0u;
+  // With several local workers the workers ARE the parallelism; nested
+  // thread pools would only oversubscribe the cores.
+  return local_workers > 1 ? 1u : 0u;
 }
 
-// --- in-process execution (shards == 1, fallback, and non-POSIX) -----------
+// --- checkpoint resume ------------------------------------------------------
+
+// %.6g equality: the checkpoint crossed the JSON emitter, so compare floats
+// the way the emitter rounds them.
+bool g6_equal(double a, double b) {
+  char ba[64];
+  char bb[64];
+  std::snprintf(ba, sizeof ba, "%.6g", a);
+  std::snprintf(bb, sizeof bb, "%.6g", b);
+  return std::strcmp(ba, bb) == 0;
+}
+
+// Load completed cells from a checkpoint file, validating every one
+// against the spec; absent file -> empty.
+std::vector<CellResult> load_checkpoint(const SweepSpec& spec,
+                                        const std::string& path,
+                                        std::size_t total) {
+  std::ifstream is(path);
+  if (!is) return {};
+  SweepDocument doc;
+  try {
+    doc = read_json(is);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("checkpoint '" + path +
+                             "' is not a readable sweep JSON artifact: " +
+                             e.what());
+  }
+  if (doc.sweep != spec.name) {
+    throw std::runtime_error("checkpoint '" + path + "' belongs to sweep '" +
+                             doc.sweep + "', not '" + spec.name +
+                             "'; use a distinct --checkpoint path per grid");
+  }
+  std::set<std::size_t> seen;
+  for (const CellResult& r : doc.cells) {
+    if (r.index >= total) {
+      throw std::runtime_error("checkpoint '" + path + "' has cell " +
+                               std::to_string(r.index) +
+                               " outside the current grid");
+    }
+    if (!seen.insert(r.index).second) {
+      throw std::runtime_error("checkpoint '" + path + "' repeats cell " +
+                               std::to_string(r.index));
+    }
+    const Cell cell = spec.cell(r.index);
+    const bool config_matches =
+        r.dim == cell.config.dim && r.factors == cell.config.factors &&
+        r.codebook_size == cell.config.codebook_size &&
+        r.trials == cell.config.trials &&
+        r.max_iterations == cell.config.max_iterations &&
+        r.seed == cell.config.seed &&
+        g6_equal(r.query_flip_prob, cell.config.query_flip_prob);
+    if (!config_matches || r.stats.trials != cell.config.trials) {
+      throw std::runtime_error(
+          "checkpoint '" + path + "' cell " + std::to_string(r.index) +
+          " does not match the current spec (different parameters or an "
+          "incomplete cell); delete the checkpoint to start over");
+    }
+  }
+  return doc.cells;
+}
+
+// --- in-process execution (1 worker, fallback, and non-POSIX) ---------------
 
 std::vector<CellResult> run_with_threads(const SweepSpec& spec,
                                          const SweepOptions& options,
-                                         std::size_t total, unsigned shards) {
+                                         const std::vector<std::size_t>& cells,
+                                         unsigned shards,
+                                         CompletionLog& log) {
   const unsigned cell_threads = effective_cell_threads(options, shards);
-  const std::vector<Task> tasks = build_tasks(spec, total, shards);
+  const std::vector<Task> tasks = build_tasks(spec, cells, shards);
 
-  std::vector<CellResult> results;
-  results.reserve(total);
-  CellAssembler assembler(spec, total);
+  CellAssembler assembler(spec, cells);
   std::atomic<std::size_t> next{0};
-  std::mutex mutex;  // guards results/assembler/progress
+  std::mutex mutex;  // guards assembler/log
   std::exception_ptr error;
 
   auto worker = [&]() {
@@ -343,7 +321,8 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
       if (t >= tasks.size()) break;
       CellResult partial;
       try {
-        partial = run_cell_block(spec, tasks[t], cell_threads);
+        partial = run_block(spec, tasks[t].cell, tasks[t].begin, tasks[t].end,
+                            cell_threads);
       } catch (const std::exception& e) {
         // Same failure shape as the process pool: the cell index and reason.
         throw std::runtime_error("sweep shard failed: cell " +
@@ -352,10 +331,7 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
       }
       std::lock_guard<std::mutex> lock(mutex);
       if (auto done = assembler.add(tasks[t].begin, std::move(partial))) {
-        results.push_back(std::move(*done));
-        if (options.progress) {
-          options.progress(results.back(), results.size(), total);
-        }
+        log.complete(std::move(*done));
       }
     }
   };
@@ -378,269 +354,227 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
     for (auto& th : pool) th.join();
     if (error) std::rethrow_exception(error);
   }
-  std::sort(results.begin(), results.end(),
-            [](const CellResult& a, const CellResult& b) {
-              return a.index < b.index;
-            });
-  return results;
+  return log.take();
 }
+
+// --- transport-generic scheduler -------------------------------------------
 
 #if defined(H3DFACT_SWEEP_HAS_FORK)
 
-// --- forked process pool ---------------------------------------------------
+// Drives any mix of WorkerChannels (forked shards, stdio subprocesses, TCP
+// workers) from one dynamic queue. One task in flight per channel: the next
+// block is assigned the moment a result lands, so fast workers naturally
+// take more of the queue. Remote disconnects requeue; shard disconnects and
+// worker-reported errors abort.
+std::vector<CellResult> run_with_channels(
+    const SweepSpec& spec, const std::vector<std::size_t>& cells,
+    const std::vector<WorkerChannel*>& channels, CompletionLog& log) {
+  const std::vector<Task> tasks = build_tasks(spec, cells, channels.size());
+  CellAssembler assembler(spec, cells);
+  const std::size_t goal = log.total();
 
-bool read_full(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<char*>(buf);
-  while (n > 0) {
-    const ssize_t got = ::read(fd, p, n);
-    if (got <= 0) return false;  // EOF or error
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool write_full(int fd, const void* buf, std::size_t n) {
-  const auto* p = static_cast<const char*>(buf);
-  while (n > 0) {
-    const ssize_t put = ::write(fd, p, n);
-    if (put <= 0) return false;
-    p += put;
-    n -= static_cast<std::size_t>(put);
-  }
-  return true;
-}
-
-void write_message(int fd, std::uint8_t kind, const std::string& payload) {
-  std::string frame;
-  frame.push_back(static_cast<char>(kind));
-  put_u64(frame, payload.size());
-  frame.append(payload);
-  (void)write_full(fd, frame.data(), frame.size());
-}
-
-// Shard main loop: pull tasks off the task pipe until the parent closes it,
-// answer each with a framed block result. Never returns.
-[[noreturn]] void shard_main(const SweepSpec& spec,
-                             const std::vector<Task>& tasks,
-                             unsigned cell_threads, int task_fd,
-                             int result_fd) {
-  for (;;) {
-    std::uint64_t task_index = 0;
-    if (!read_full(task_fd, &task_index, sizeof task_index)) break;
-    const Task& task = tasks[static_cast<std::size_t>(task_index)];
-    try {
-      const CellResult r = run_cell_block(spec, task, cell_threads);
-      write_message(result_fd, kMsgResult, encode_result(task.begin, r));
-    } catch (const std::exception& e) {
-      write_message(result_fd, kMsgError,
-                    "cell " + std::to_string(task.cell) + ": " + e.what());
-      ::_exit(1);
-    } catch (...) {
-      write_message(result_fd, kMsgError,
-                    "cell " + std::to_string(task.cell) + ": unknown error");
-      ::_exit(1);
-    }
-  }
-  ::_exit(0);
-}
-
-struct Shard {
-  pid_t pid = -1;
-  int task_fd = -1;    // parent → child task indices
-  int result_fd = -1;  // child → parent framed results
-  std::string buf;     // partial result bytes
-  std::size_t outstanding = 0;
-  bool task_open = false;
-};
-
-void close_task_fd(Shard& shard) {
-  if (shard.task_open) {
-    ::close(shard.task_fd);
-    shard.task_open = false;
-  }
-}
-
-std::vector<CellResult> run_with_processes(const SweepSpec& spec,
-                                           const SweepOptions& options,
-                                           std::size_t total,
-                                           unsigned nshards) {
-  const unsigned cell_threads = effective_cell_threads(options, nshards);
-  const std::vector<Task> tasks = build_tasks(spec, total, nshards);
-
-  std::vector<Shard> shards;
-  shards.reserve(nshards);
-  for (unsigned i = 0; i < nshards && i < tasks.size(); ++i) {
-    int task_pipe[2];
-    int result_pipe[2];
-    if (::pipe(task_pipe) != 0) break;
-    if (::pipe(result_pipe) != 0) {
-      ::close(task_pipe[0]);
-      ::close(task_pipe[1]);
-      break;
-    }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(task_pipe[0]);
-      ::close(task_pipe[1]);
-      ::close(result_pipe[0]);
-      ::close(result_pipe[1]);
-      break;
-    }
-    if (pid == 0) {
-      // Child: keep only its two pipe ends (including those inherited from
-      // earlier shards — close them so EOF propagates correctly).
-      ::close(task_pipe[1]);
-      ::close(result_pipe[0]);
-      for (Shard& other : shards) {
-        ::close(other.task_fd);
-        ::close(other.result_fd);
-      }
-      shard_main(spec, tasks, cell_threads, task_pipe[0], result_pipe[1]);
-    }
-    Shard shard;
-    shard.pid = pid;
-    shard.task_fd = task_pipe[1];
-    shard.result_fd = result_pipe[0];
-    shard.task_open = true;
-    ::close(task_pipe[0]);
-    ::close(result_pipe[1]);
-    shards.push_back(shard);
-  }
-
-  if (shards.empty()) {
-    // fork unavailable (resource limits, sandbox): same queue on threads.
-    return run_with_threads(spec, options, total, nshards);
-  }
-
-  // A dead shard must surface as an error message / EOF, not a SIGPIPE.
-  struct SigpipeGuard {
-    void (*old)(int);
-    SigpipeGuard() : old(::signal(SIGPIPE, SIG_IGN)) {}
-    ~SigpipeGuard() { ::signal(SIGPIPE, old); }
-  } sigpipe_guard;
-
-  std::vector<CellResult> results;
-  results.reserve(total);
-  CellAssembler assembler(spec, total);
+  std::deque<std::size_t> requeued;  // lost blocks run before fresh ones
   std::size_t next = 0;
+  std::vector<unsigned> attempts(tasks.size(), 0);
   std::string failure;
+  constexpr unsigned kMaxAttempts = 3;
 
-  // First failure wins; terminate the siblings promptly — one may be hours
-  // into a heavy block whose sweep is already doomed.
+  for (WorkerChannel* ch : channels) {
+    ch->inflight.clear();
+    ch->task_open = true;
+  }
+
+  auto live_channels = [&]() {
+    std::size_t n = 0;
+    for (WorkerChannel* ch : channels) {
+      if (ch->read_fd() >= 0) ++n;
+    }
+    return n;
+  };
+
+  // First failure wins; stop assigning and terminate local children
+  // promptly — one may be hours into a block whose sweep is already doomed.
   auto fail = [&](std::string msg) {
     if (failure.empty()) failure = std::move(msg);
     next = tasks.size();
-    for (Shard& s : shards) {
-      if (s.pid > 0) ::kill(s.pid, SIGTERM);
+    requeued.clear();
+    for (WorkerChannel* ch : channels) {
+      ch->task_open = false;
+      if (ch->kind() == WorkerChannel::Kind::kForkPipe && ch->pid() > 0) {
+        ::kill(ch->pid(), SIGTERM);
+      }
     }
   };
 
-  auto send_task = [&](Shard& shard) {
-    if (!shard.task_open) return;
-    if (next >= tasks.size()) {
-      close_task_fd(shard);
+  std::function<void(WorkerChannel&)> send_next_task;
+
+  auto handle_disconnect = [&](WorkerChannel& ch, const std::string& why) {
+    const std::vector<std::size_t> lost = ch.inflight;
+    ch.inflight.clear();
+    ch.task_open = false;
+    ch.close_all();
+    if (!ch.requeue_on_disconnect()) {
+      if (!lost.empty() || failure.empty()) {
+        fail("sweep shard exited before finishing its cells" +
+             (why.empty() ? "" : " (" + why + ")"));
+      }
       return;
     }
-    const std::uint64_t index = next;
-    if (write_full(shard.task_fd, &index, sizeof index)) {
-      ++next;
-      ++shard.outstanding;
-    } else {
-      fail("sweep shard task pipe closed unexpectedly");
+    for (std::size_t t : lost) {
+      if (attempts[t] >= kMaxAttempts) {
+        fail("sweep block for cell " + std::to_string(tasks[t].cell) +
+             " was lost by " + std::to_string(kMaxAttempts) +
+             " workers in a row; giving up");
+        return;
+      }
+      requeued.push_back(t);
+    }
+    if (!lost.empty() || !why.empty()) {
+      std::fprintf(stderr,
+                   "[sweep] worker '%s' disconnected%s%s; requeueing %zu "
+                   "block(s) onto %zu surviving worker(s)\n",
+                   ch.label().c_str(), why.empty() ? "" : ": ", why.c_str(),
+                   lost.size(), live_channels());
+    }
+    if (live_channels() == 0 &&
+        (next < tasks.size() || !requeued.empty() ||
+         log.completed() < goal)) {
+      fail("all sweep workers disconnected with work outstanding");
+      return;
+    }
+    // Wake idle survivors for the requeued blocks. A survivor that went
+    // idle when the queue drained had task_open cleared — reopen it, or a
+    // tail-of-sweep disconnect would strand the requeued blocks while the
+    // scheduler polls idle workers forever. Forked shards whose write side
+    // was already closed (EOF sent, child exiting) cannot be revived.
+    if (!failure.empty()) return;
+    for (WorkerChannel* other : channels) {
+      if (other->read_fd() >= 0 && other->writable() &&
+          other->inflight.empty()) {
+        other->task_open = true;
+        send_next_task(*other);
+      }
     }
   };
 
-  for (Shard& shard : shards) send_task(shard);
+  send_next_task = [&](WorkerChannel& ch) {
+    if (!ch.task_open || !ch.writable()) return;
+    std::optional<std::size_t> t;
+    if (!requeued.empty()) {
+      t = requeued.front();
+      requeued.pop_front();
+    } else if (next < tasks.size()) {
+      t = next++;
+    }
+    if (!t) {
+      // Queue drained. Forked shards exit on EOF (their lifetime is this
+      // run); remote channels stay open for the next sweep.
+      ch.task_open = false;
+      if (ch.kind() == WorkerChannel::Kind::kForkPipe) ch.close_write();
+      return;
+    }
+    TaskFrame frame{tasks[*t].cell, tasks[*t].begin, tasks[*t].end};
+    if (ch.send(FrameKind::kTask, encode_task(frame))) {
+      ch.inflight.push_back(*t);
+      ++attempts[*t];
+    } else {
+      requeued.push_front(*t);
+      handle_disconnect(ch, "task send failed");
+    }
+  };
 
-  std::size_t open_results = shards.size();
-  while (open_results > 0) {
+  auto handle_frame = [&](WorkerChannel& ch, Frame frame) {
+    switch (frame.kind) {
+      case FrameKind::kResult: {
+        auto [block_begin, partial] = decode_result(frame.payload);
+        auto it = std::find_if(ch.inflight.begin(), ch.inflight.end(),
+                               [&](std::size_t t) {
+                                 return tasks[t].cell == partial.index &&
+                                        tasks[t].begin == block_begin;
+                               });
+        if (it == ch.inflight.end()) {
+          // A result this worker was never assigned (duplicate resend or a
+          // confused peer) must not reach the assembler — merging it would
+          // silently double-count trials. Treat the channel as broken.
+          handle_disconnect(ch, "unsolicited result for cell " +
+                                    std::to_string(partial.index));
+          break;
+        }
+        ch.inflight.erase(it);
+        if (auto done = assembler.add(block_begin, std::move(partial))) {
+          log.complete(std::move(*done));
+        }
+        send_next_task(ch);
+        break;
+      }
+      case FrameKind::kError:
+        fail("sweep shard failed: " + frame.payload);
+        ch.task_open = false;
+        break;
+      default:
+        break;  // stray handshake frames are harmless
+    }
+  };
+
+  for (WorkerChannel* ch : channels) send_next_task(*ch);
+
+  while (failure.empty() && log.completed() < goal) {
     std::vector<pollfd> fds;
-    fds.reserve(shards.size());
-    for (const Shard& shard : shards) {
-      if (shard.result_fd >= 0) {
-        fds.push_back(pollfd{shard.result_fd, POLLIN, 0});
+    std::vector<WorkerChannel*> owners;
+    for (WorkerChannel* ch : channels) {
+      if (ch->read_fd() >= 0) {
+        fds.push_back(pollfd{ch->read_fd(), POLLIN, 0});
+        owners.push_back(ch);
       }
     }
-    if (fds.empty()) break;
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
-      if (errno == EINTR) continue;
-      if (failure.empty()) failure = "poll on sweep result pipes failed";
+    if (fds.empty()) {
+      fail("all sweep workers disconnected with work outstanding");
       break;
     }
-    for (const pollfd& pfd : fds) {
-      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      auto it = std::find_if(shards.begin(), shards.end(), [&](const Shard& s) {
-        return s.result_fd == pfd.fd;
-      });
-      Shard& shard = *it;
-      char chunk[65536];
-      const ssize_t got = ::read(shard.result_fd, chunk, sizeof chunk);
-      if (got > 0) {
-        shard.buf.append(chunk, static_cast<std::size_t>(got));
-        // Drain every complete frame in the buffer.
-        for (;;) {
-          if (shard.buf.size() < 9) break;
-          const auto kind = static_cast<std::uint8_t>(shard.buf[0]);
-          Reader header{shard.buf.data() + 1, 8};
-          const std::size_t payload = static_cast<std::size_t>(header.u64());
-          if (shard.buf.size() < 9 + payload) break;
-          if (kind == kMsgResult) {
-            auto [block_begin, partial] =
-                decode_result(shard.buf.data() + 9, payload);
-            if (shard.outstanding > 0) --shard.outstanding;
-            if (auto done = assembler.add(block_begin, std::move(partial))) {
-              results.push_back(std::move(*done));
-              if (options.progress) {
-                options.progress(results.back(), results.size(), total);
-              }
-            }
-            send_task(shard);
-          } else {
-            fail("sweep shard failed: " +
-                 std::string(shard.buf.data() + 9, payload));
-            close_task_fd(shard);
-          }
-          shard.buf.erase(0, 9 + payload);
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      fail("poll on sweep worker channels failed");
+      break;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerChannel& ch = *owners[i];
+      if (ch.read_fd() < 0) continue;  // closed while handling a peer
+      const long got = ch.pump();
+      bool disconnected = got <= 0;
+      try {
+        while (auto frame = ch.next_frame()) {
+          handle_frame(ch, std::move(*frame));
         }
-      } else {
-        // EOF: the shard exited. Legitimate only once its queue is closed
-        // and it owes no results.
-        if (shard.outstanding > 0 || shard.task_open) {
-          fail("sweep shard exited before finishing its cells");
+      } catch (const std::exception& e) {
+        handle_disconnect(ch, std::string("malformed frame: ") + e.what());
+        continue;
+      }
+      if (disconnected) {
+        if (ch.inflight.empty() && !ch.task_open) {
+          ch.close_all();  // clean exit after the queue drained
+        } else {
+          handle_disconnect(ch, "");
         }
-        close_task_fd(shard);
-        ::close(shard.result_fd);
-        shard.result_fd = -1;
-        --open_results;
       }
     }
   }
 
-  for (Shard& shard : shards) {
-    close_task_fd(shard);
-    if (shard.result_fd >= 0) ::close(shard.result_fd);
-    int status = 0;
-    ::waitpid(shard.pid, &status, 0);
-    if (failure.empty() &&
-        !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
-      failure = "sweep shard terminated abnormally";
-    }
-  }
-  if (failure.empty() && results.size() != total) {
-    failure = "sweep lost " + std::to_string(total - results.size()) +
+  if (failure.empty() && log.completed() != goal) {
+    failure = "sweep lost " + std::to_string(goal - log.completed()) +
               " cell result(s)";
   }
   if (!failure.empty()) throw std::runtime_error(failure);
-
-  std::sort(results.begin(), results.end(),
-            [](const CellResult& a, const CellResult& b) {
-              return a.index < b.index;
-            });
-  return results;
+  return log.take();
 }
 
 #endif  // H3DFACT_SWEEP_HAS_FORK
+
+std::vector<std::size_t> all_cells(std::size_t total) {
+  std::vector<std::size_t> cells(total);
+  for (std::size_t i = 0; i < total; ++i) cells[i] = i;
+  return cells;
+}
 
 }  // namespace
 
@@ -654,11 +588,64 @@ const std::string& CellResult::coordinate(const std::string& axis) const {
 
 CellResult run_cell(const SweepSpec& spec, std::size_t index,
                     unsigned threads_override) {
-  Task task;
-  task.cell = index;
-  task.begin = 0;
-  task.end = spec.cell(index).config.trials;
-  return run_cell_block(spec, task, threads_override);
+  return run_block(spec, index, 0, spec.cell(index).config.trials,
+                   threads_override);
+}
+
+CellResult run_cell_block(const SweepSpec& spec, std::size_t index,
+                          std::size_t begin, std::size_t end,
+                          unsigned threads_override) {
+  return run_block(spec, index, begin, end, threads_override);
+}
+
+std::vector<std::size_t> parse_cell_filter(const std::string& expr,
+                                           std::size_t cell_count) {
+  std::set<std::size_t> picked;
+  std::size_t pos = 0;
+  auto parse_number = [&]() {
+    if (pos >= expr.size() || expr[pos] < '0' || expr[pos] > '9') {
+      throw std::invalid_argument("bad cell filter '" + expr +
+                                  "': expected a cell index at position " +
+                                  std::to_string(pos));
+    }
+    std::size_t v = 0;
+    while (pos < expr.size() && expr[pos] >= '0' && expr[pos] <= '9') {
+      v = v * 10 + static_cast<std::size_t>(expr[pos] - '0');
+      ++pos;
+    }
+    return v;
+  };
+  while (pos < expr.size()) {
+    const std::size_t lo = parse_number();
+    std::size_t hi = lo;
+    if (pos < expr.size() && expr[pos] == '-') {
+      ++pos;
+      hi = parse_number();
+    }
+    if (hi < lo) {
+      throw std::invalid_argument("bad cell filter '" + expr +
+                                  "': descending range");
+    }
+    if (hi >= cell_count) {
+      throw std::out_of_range("cell filter '" + expr + "' references cell " +
+                              std::to_string(hi) + " but the grid has " +
+                              std::to_string(cell_count) + " cells");
+    }
+    for (std::size_t i = lo; i <= hi; ++i) picked.insert(i);
+    if (pos < expr.size()) {
+      if (expr[pos] != ',') {
+        throw std::invalid_argument("bad cell filter '" + expr +
+                                    "': expected ',' at position " +
+                                    std::to_string(pos));
+      }
+      ++pos;
+    }
+  }
+  if (picked.empty()) {
+    throw std::invalid_argument("cell filter '" + expr +
+                                "' selects no cells");
+  }
+  return {picked.begin(), picked.end()};
 }
 
 SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
@@ -666,14 +653,89 @@ SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
 
 std::vector<CellResult> SweepRunner::run() const {
   const std::size_t total = spec_.cell_count();
-  const unsigned nshards = std::max(
-      1u, options_.shards == 0 ? 1u : options_.shards);
+  const unsigned nshards =
+      std::max(1u, options_.shards == 0 ? 1u : options_.shards);
+
+  // Resolve the cell selection (filter minus checkpoint-resumed cells).
+  std::vector<std::size_t> selected =
+      options_.cells.empty() ? all_cells(total) : options_.cells;
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  if (!selected.empty() && selected.back() >= total) {
+    throw std::out_of_range("sweep cell selection references cell " +
+                            std::to_string(selected.back()) +
+                            " but the grid has " + std::to_string(total) +
+                            " cells");
+  }
+  std::vector<CellResult> resumed;
+  if (!options_.checkpoint_path.empty()) {
+    std::vector<CellResult> loaded =
+        load_checkpoint(spec_, options_.checkpoint_path, total);
+    std::set<std::size_t> done;
+    for (CellResult& r : loaded) done.insert(r.index);
+    std::vector<std::size_t> remaining;
+    for (std::size_t i : selected) {
+      if (done.count(i) == 0) remaining.push_back(i);
+    }
+    selected.swap(remaining);
+    resumed = std::move(loaded);
+  }
+
+  CompletionLog log(options_, spec_.name, std::move(resumed),
+                    selected.size());
+  if (selected.empty()) return log.take();
+
 #if defined(H3DFACT_SWEEP_HAS_FORK)
-  if (options_.use_processes && nshards > 1) {
-    return run_with_processes(spec_, options_, total, nshards);
+  const bool want_remote = options_.transport != nullptr;
+  const bool want_processes = options_.use_processes && nshards > 1;
+  if (want_remote || want_processes) {
+    // Bind remote workers first so the forked shards can close the remote
+    // fds they inherit.
+    std::vector<WorkerChannel*> channels;
+    std::unique_ptr<PipeTransport> pipe;
+    struct Unbinder {
+      Transport* remote = nullptr;
+      PipeTransport* local = nullptr;
+      ~Unbinder() {
+        if (local != nullptr) local->unbind();
+        if (remote != nullptr) remote->unbind();
+      }
+    } unbinder;
+
+    if (want_remote) {
+      SpecBinding binding;
+      binding.spec = &spec_;
+      binding.ref = options_.grid;
+      binding.cell_threads = options_.threads_per_cell;
+      binding.cell_count = total;
+      binding.fingerprint = spec_fingerprint(spec_);
+      channels = options_.transport->bind(binding);
+      unbinder.remote = options_.transport.get();
+    }
+    if (want_processes) {
+      SpecBinding binding;
+      binding.spec = &spec_;
+      binding.cell_threads = effective_cell_threads(options_, nshards);
+      for (WorkerChannel* ch : channels) {
+        binding.close_in_child.push_back(ch->read_fd());
+      }
+      pipe = std::make_unique<PipeTransport>(nshards);
+      auto local = pipe->bind(binding);
+      channels.insert(channels.end(), local.begin(), local.end());
+      unbinder.local = pipe.get();
+    }
+    if (!channels.empty()) {
+      return run_with_channels(spec_, selected, channels, log);
+    }
+    // fork unavailable (resource limits, sandbox): same queue on threads.
+  }
+#else
+  if (options_.transport != nullptr) {
+    throw std::runtime_error("remote sweep transports require POSIX");
   }
 #endif
-  return run_with_threads(spec_, options_, total, nshards);
+  return run_with_threads(spec_, options_, selected, nshards, log);
 }
 
 std::vector<CellResult> run_sweep(const SweepSpec& spec,

@@ -1,47 +1,66 @@
 #pragma once
 // Sharded sweep execution (the sweep subsystem, part 2 of 3).
 //
-// A SweepRunner executes every cell of a SweepSpec across a pool of worker
-// shards. On POSIX the shards are forked processes fed from a dynamic work
-// queue over pipes (cells are handed to whichever shard finishes first, so
-// a long cell never serializes the grid behind it) with results pipe-
-// serialized back to the parent; where fork is unavailable — or when
-// SweepOptions::use_processes is off — the same queue runs over in-process
-// threads. Cell seeds derive from (master seed, cell index) alone, so the
-// statistics are bit-identical for every shard count and schedule; only the
-// wall clock changes.
+// A SweepRunner executes every cell of a SweepSpec across a pool of
+// workers. The unit of work is a chunk-aligned trial block of one cell, fed
+// from a dynamic longest-first queue to whichever worker finishes first and
+// merged with the partition-invariant TrialStats::merge_block, so the
+// statistics are bit-identical for every worker count and schedule — only
+// the wall clock changes. Workers reach the queue through a Transport
+// (transport.hpp):
+//
+//   * default           — forked shard processes over pipes (PipeTransport),
+//                         falling back to in-process threads where fork is
+//                         unavailable or SweepOptions::use_processes is off;
+//   * SweepOptions::transport — remote workers over TCP sockets or
+//                         subprocess stdin/stdout (`sweep_worker` binary,
+//                         reachable over ssh), mixable with local shards.
+//
+// Remote workers rebuild the spec from SweepOptions::grid through the grid
+// registry and prove the rebuild with a spec fingerprint before any task
+// flows. A remote worker lost mid-cell has its blocks requeued onto the
+// surviving workers; a forked shard lost mid-cell aborts the sweep (it
+// shares this binary, so its death is a bug, not weather).
+//
+// Long runs can record a JSON checkpoint (SweepOptions::checkpoint_path):
+// completed cells are reloaded on restart and only the remainder executes.
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sweep/registry.hpp"
 #include "sweep/spec.hpp"
 
 namespace h3dfact::sweep {
+
+class Transport;
 
 /// One executed cell: the resolved coordinates/parameters/metadata, an echo
 /// of the key config fields (plain data — results cross process
 /// boundaries), the aggregated trial statistics and the cell wall time.
 struct CellResult {
-  std::size_t index = 0;
+  std::size_t index = 0;  ///< row-major cell index into the grid
+  /// (axis name, point label) pairs in axis declaration order.
   std::vector<std::pair<std::string, std::string>> coordinates;
-  std::map<std::string, double> params;
-  std::map<std::string, std::string> meta;
+  std::map<std::string, double> params;     ///< free-form factory knobs
+  std::map<std::string, std::string> meta;  ///< per-cell annotations
 
   // Resolved-config echo.
-  std::size_t dim = 0;
-  std::size_t factors = 0;
-  std::size_t codebook_size = 0;
-  std::size_t trials = 0;
-  std::size_t max_iterations = 0;
-  double query_flip_prob = 0.0;
-  std::uint64_t seed = 0;
+  std::size_t dim = 0;             ///< hypervector dimension D
+  std::size_t factors = 0;         ///< factor count F
+  std::size_t codebook_size = 0;   ///< codebook size M
+  std::size_t trials = 0;          ///< trials this cell ran
+  std::size_t max_iterations = 0;  ///< per-trial iteration cap
+  double query_flip_prob = 0.0;    ///< query noise level
+  std::uint64_t seed = 0;          ///< derived per-cell seed
 
-  resonator::TrialStats stats;
-  double wall_seconds = 0.0;
+  resonator::TrialStats stats;  ///< aggregated trial statistics
+  double wall_seconds = 0.0;    ///< summed worker compute time for the cell
 
   /// The point label this cell took on the named axis ("" when absent).
   [[nodiscard]] const std::string& coordinate(const std::string& axis) const;
@@ -49,32 +68,56 @@ struct CellResult {
 
 /// Execution knobs, orthogonal to the grid declaration.
 struct SweepOptions {
-  /// Worker shards. 1 runs every cell inline in this process.
+  /// Local worker shards. 1 runs cells inline in this process (unless a
+  /// remote transport supplies the workers).
   unsigned shards = 1;
-  /// Worker threads inside each cell's run_trials. 0 = auto: single-
-  /// threaded cells when shards > 1 (the shards are the parallelism),
-  /// otherwise the config's own setting.
+  /// Worker threads inside each cell's trial blocks. 0 = auto: single-
+  /// threaded cells when local shards > 1 (the shards are the parallelism),
+  /// otherwise the config's own setting. Remote workers receive this value
+  /// verbatim (their machines have their own cores).
   unsigned threads_per_cell = 0;
-  /// Fork worker processes (POSIX). Off — or unsupported platform — runs
-  /// the same work queue over in-process threads.
+  /// Fork local worker processes (POSIX). Off — or unsupported platform —
+  /// runs the same work queue over in-process threads.
   bool use_processes = true;
-  /// Invoked in the parent as each cell completes (any order): the result,
-  /// cells done so far, total cells.
+  /// Invoked in the coordinator as each cell completes (any order): the
+  /// result, cells done so far (checkpoint-resumed cells included), total
+  /// cells this run will produce.
   std::function<void(const CellResult&, std::size_t done, std::size_t total)>
       progress;
+
+  /// Remote worker transport (TcpTransport/StdioTransport or a composite);
+  /// null runs locally. Persistent transports may be reused across several
+  /// run() calls (multi-grid benches bind the same fleet repeatedly).
+  std::shared_ptr<Transport> transport;
+  /// Registry recipe remote workers rebuild the spec from; required
+  /// whenever `transport` is set (see sweep/registry.hpp).
+  GridRef grid;
+
+  /// Cell indices to execute (see parse_cell_filter); empty = whole grid.
+  std::vector<std::size_t> cells;
+  /// Path of a JSON checkpoint (the emitter format): completed cells found
+  /// here are reused instead of re-run, and the file is atomically
+  /// rewritten as each new cell completes, so an interrupted sweep resumes
+  /// where it stopped. The file must match the spec (name + per-cell
+  /// config) or the run aborts.
+  std::string checkpoint_path;
 };
 
 /// Executes a SweepSpec. Stateless between runs; run() may be called again.
 class SweepRunner {
  public:
+  /// Bind a spec to execution options (both copied).
   explicit SweepRunner(SweepSpec spec, SweepOptions options = {});
 
+  /// The grid under execution.
   [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+  /// The execution knobs.
   [[nodiscard]] const SweepOptions& options() const { return options_; }
 
-  /// Run every cell; results are returned sorted by cell index. Throws
-  /// std::runtime_error when a worker shard fails (the first failure's
-  /// cell index and reason are in the message).
+  /// Run every selected cell; results are returned sorted by cell index
+  /// (checkpoint-resumed cells included). Throws std::runtime_error when
+  /// the sweep cannot complete: a worker failed, every remote worker
+  /// disconnected, or a checkpoint mismatches the spec.
   [[nodiscard]] std::vector<CellResult> run() const;
 
  private:
@@ -87,9 +130,24 @@ std::vector<CellResult> run_sweep(const SweepSpec& spec,
                                   const SweepOptions& options = {});
 
 /// Resolve and execute one cell in the calling process (the unit of work a
-/// shard performs; exposed for tests and custom schedulers).
+/// worker performs; exposed for tests and custom schedulers).
 /// `threads_override` replaces the cell config's thread count when nonzero.
 CellResult run_cell(const SweepSpec& spec, std::size_t index,
                     unsigned threads_override = 0);
+
+/// Execute trials [begin, end) of cell `index` in the calling process — the
+/// trial-block granularity the workers operate at. `begin` must be chunk-
+/// aligned (resonator::kTrialBlockAlign); merging a partition of a cell's
+/// blocks in ascending order reproduces run_cell exactly.
+CellResult run_cell_block(const SweepSpec& spec, std::size_t index,
+                          std::size_t begin, std::size_t end,
+                          unsigned threads_override = 0);
+
+/// Parse a cell-range selector ("0-3,7,9-11") against a grid of
+/// `cell_count` cells into a sorted, deduplicated index list. Throws
+/// std::invalid_argument on syntax errors and std::out_of_range for
+/// indices past the grid.
+std::vector<std::size_t> parse_cell_filter(const std::string& expr,
+                                           std::size_t cell_count);
 
 }  // namespace h3dfact::sweep

@@ -43,7 +43,7 @@ struct Cell {
 
 /// One point on an axis: a label for reports plus the mutation it applies.
 struct AxisPoint {
-  std::string label;
+  std::string label;                       ///< report label for this point
   double value = 0.0;                      ///< numeric value, when meaningful
   std::function<void(Cell&)> apply;        ///< mutates config and/or params
   std::map<std::string, std::string> meta; ///< merged into the cell's meta
@@ -53,8 +53,8 @@ struct AxisPoint {
 /// accepts fully custom AxisPoints for compound mutations (Table II rows
 /// set F, M, trials, cap and the channel operating point in one point).
 struct Axis {
-  std::string name;
-  std::vector<AxisPoint> points;
+  std::string name;               ///< axis name (a result/CSV column)
+  std::vector<AxisPoint> points;  ///< the grid points along this axis
 
   [[nodiscard]] std::size_t size() const { return points.size(); }
 
@@ -82,6 +82,8 @@ using CellFactory = std::function<resonator::ResonatorNetwork(
 
 /// The declarative grid: base config × axes (+ optional hooks).
 struct SweepSpec {
+  /// Sweep name: labels emitted artifacts, and for registered grids it IS
+  /// the registry key (build_grid overwrites it with the GridRef name).
   std::string name = "sweep";
   /// Base TrialConfig; its seed is the sweep's master seed.
   resonator::TrialConfig base;

@@ -4,6 +4,7 @@
 // emitter golden files, and worker-failure propagation.
 
 #include <cstdint>
+#include <cstdio>
 #include <gtest/gtest.h>
 #include <stdexcept>
 #include <string>
@@ -298,6 +299,9 @@ TEST(SweepEmit, JsonGolden) {
       "meta": {"paper_acc": "99.4"},
       "config": {"dim": 1024, "factors": 3, "codebook_size": 16, "trials": 4, "max_iterations": 100, "query_flip_prob": 0, "seed": "42"},
       "stats": {"trials": 4, "solved": 2, "correct": 3, "cycles": 1, "accuracy": 0.75, "accuracy_ci": 0.326889, "solve_rate": 0.5, "median_iterations": 4, "iterations_p99": -1, "mean_iterations_solved": 4},
+      "iteration_samples": [2, 6],
+      "correct_by_iteration": [],
+      "correct_raw_by_iteration": [],
       "wall_seconds": 0.25
     },
     {
@@ -307,12 +311,128 @@ TEST(SweepEmit, JsonGolden) {
       "meta": {"paper_acc": "99,3"},
       "config": {"dim": 1024, "factors": 3, "codebook_size": 32, "trials": 4, "max_iterations": 100, "query_flip_prob": 0, "seed": "43"},
       "stats": {"trials": 4, "solved": 2, "correct": 3, "cycles": 1, "accuracy": 0.75, "accuracy_ci": 0.326889, "solve_rate": 0.5, "median_iterations": 4, "iterations_p99": -1, "mean_iterations_solved": 4},
+      "iteration_samples": [2, 6],
+      "correct_by_iteration": [],
+      "correct_raw_by_iteration": [],
       "wall_seconds": 0.25
     }
   ]
 }
 )";
   EXPECT_EQ(sweep::json_string("golden", results), expected);
+}
+
+// The JSON artifact is the sweep checkpoint: reading our own emitter output
+// back must reconstruct every cell losslessly — re-emitting the parsed
+// document reproduces the original bytes.
+TEST(SweepEmit, JsonRoundTripsThroughReader) {
+  auto results = golden_results();
+  results[0].stats.correct_by_iteration = {0, 1, 3, 4};
+  results[0].stats.correct_raw_by_iteration = {2, 3, 3, 4};
+  results[1].seed = 0xfffffffffffffff0ULL & ~0ULL;  // full 64-bit range
+  results[1].stats.iteration_samples = {2824079.0, 6.0};
+  results[1].stats.iterations_solved = {};
+  for (double x : results[1].stats.iteration_samples) {
+    results[1].stats.iterations_solved.add(x);
+  }
+  results[1].meta["note"] = "quote \" backslash \\ newline \n tab \t";
+
+  const std::string emitted = sweep::json_string("golden", results);
+  const sweep::SweepDocument doc = sweep::read_json_string(emitted);
+  EXPECT_EQ(doc.sweep, "golden");
+  ASSERT_EQ(doc.cells.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(doc.cells[i].index, results[i].index);
+    EXPECT_EQ(doc.cells[i].coordinates, results[i].coordinates);
+    EXPECT_EQ(doc.cells[i].params, results[i].params);
+    EXPECT_EQ(doc.cells[i].meta, results[i].meta);
+    EXPECT_EQ(doc.cells[i].seed, results[i].seed);
+    EXPECT_EQ(doc.cells[i].max_iterations, results[i].max_iterations);
+    expect_stats_equal(doc.cells[i].stats, results[i].stats,
+                       "json round trip cell " + std::to_string(i));
+  }
+  EXPECT_EQ(sweep::json_string("golden", doc.cells), emitted);
+
+  EXPECT_THROW((void)sweep::read_json_string("{\"sweep\": \"x\"}"),
+               std::runtime_error);
+  EXPECT_THROW((void)sweep::read_json_string("not json"),
+               std::runtime_error);
+  EXPECT_THROW((void)sweep::read_json_string(
+                   emitted.substr(0, emitted.size() / 2)),
+               std::runtime_error);
+}
+
+// --- cell filter + checkpoint resume ----------------------------------------
+
+TEST(SweepRunner, CellFilterRunsOnlySelectedCells) {
+  EXPECT_EQ(sweep::parse_cell_filter("0-2,5,7-8", 10),
+            (std::vector<std::size_t>{0, 1, 2, 5, 7, 8}));
+  EXPECT_EQ(sweep::parse_cell_filter("3", 4), (std::vector<std::size_t>{3}));
+  EXPECT_THROW((void)sweep::parse_cell_filter("4", 4), std::out_of_range);
+  EXPECT_THROW((void)sweep::parse_cell_filter("2-1", 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep::parse_cell_filter("a-b", 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep::parse_cell_filter("", 4), std::invalid_argument);
+
+  sweep::SweepSpec spec = small_grid();
+  const auto reference = sweep::run_sweep(spec, {});
+
+  sweep::SweepOptions opt;
+  opt.cells = {1, 3};
+  opt.shards = 2;
+  const auto subset = sweep::run_sweep(spec, opt);
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset[0].index, 1u);
+  EXPECT_EQ(subset[1].index, 3u);
+  expect_stats_equal(subset[0].stats, reference[1].stats, "filtered cell 1");
+  expect_stats_equal(subset[1].stats, reference[3].stats, "filtered cell 3");
+}
+
+TEST(SweepRunner, CheckpointResumeSkipsCompletedCells) {
+  sweep::SweepSpec spec = small_grid();
+  const auto reference = sweep::run_sweep(spec, {});
+
+  const std::string path =
+      ::testing::TempDir() + "/sweep_checkpoint_test.json";
+  std::remove(path.c_str());
+
+  // Phase 1: an "interrupted" run that only finished cells 0 and 2.
+  sweep::SweepOptions phase1;
+  phase1.cells = {0, 2};
+  phase1.checkpoint_path = path;
+  const auto partial = sweep::run_sweep(spec, phase1);
+  ASSERT_EQ(partial.size(), 2u);
+
+  // Phase 2: the restarted full run resumes from the checkpoint — only the
+  // remaining cells execute (the progress callback observes exactly two
+  // fresh completions) and the merged output equals the uninterrupted run.
+  sweep::SweepOptions phase2;
+  phase2.checkpoint_path = path;
+  std::vector<std::size_t> fresh;
+  phase2.progress = [&fresh](const sweep::CellResult& r, std::size_t done,
+                             std::size_t total) {
+    fresh.push_back(r.index);
+    EXPECT_EQ(total, 4u);
+    EXPECT_GE(done, 3u);  // resumed cells count as already done
+  };
+  const auto resumed = sweep::run_sweep(spec, phase2);
+  EXPECT_EQ(fresh.size(), 2u);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(resumed[i].index, reference[i].index);
+    expect_stats_equal(resumed[i].stats, reference[i].stats,
+                       "resumed cell " + std::to_string(i));
+  }
+
+  // A checkpoint from a different grid is refused, not silently mixed in.
+  sweep::SweepSpec other = small_grid();
+  other.name = "a-different-grid";
+  sweep::SweepOptions mismatch;
+  mismatch.checkpoint_path = path;
+  EXPECT_THROW((void)sweep::run_sweep(other, mismatch), std::runtime_error);
+
+  std::remove(path.c_str());
 }
 
 // Round-trip through the shard pipe serialization is exercised implicitly

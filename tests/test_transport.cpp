@@ -1,0 +1,540 @@
+// Transport-layer tests: frame parsing against malformed/truncated input,
+// the version handshake, TCP loopback sweeps bit-identical to in-process
+// execution, worker-disconnect requeueing, spec fingerprint cross-checks,
+// and the stdio (spawned subprocess) transport driving this very binary as
+// the worker.
+//
+// This suite provides its own main: invoked with --serve-stdio it becomes a
+// sweep worker speaking the framed protocol on stdin/stdout, which is how
+// the StdioTransport test exercises the real exec path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "sweep/emit.hpp"
+#include "sweep/protocol.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/transport.hpp"
+
+namespace {
+
+using namespace h3dfact;
+
+constexpr const char* kUnitGrid = "unit-grid";
+std::string g_self_exe;  // absolute path of this test binary (for stdio)
+
+// The registered unit grid: a pure function of its params, so the
+// in-process coordinator and the worker (thread or subprocess) resolve the
+// identical spec.
+sweep::SweepSpec build_unit_grid(const sweep::GridParams& p) {
+  sweep::SweepSpec spec;
+  spec.name = kUnitGrid;
+  spec.base.dim = 256;
+  spec.base.factors = 2;
+  spec.base.trials = static_cast<std::size_t>(sweep::param_i64(p, "trials", 8));
+  spec.base.max_iterations = 60;
+  spec.base.seed = static_cast<std::uint64_t>(sweep::param_i64(p, "seed", 12345));
+  spec.axes.push_back(sweep::Axis::codebook_size({4, 8}));
+  spec.axes.push_back(sweep::Axis::query_noise({0.0, 0.05}));
+  return spec;
+}
+
+void register_unit_grid() { sweep::register_grid(kUnitGrid, build_unit_grid); }
+
+void expect_stats_equal(const resonator::TrialStats& a,
+                        const resonator::TrialStats& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.trials, b.trials) << context;
+  EXPECT_EQ(a.solved, b.solved) << context;
+  EXPECT_EQ(a.correct, b.correct) << context;
+  EXPECT_EQ(a.cycles, b.cycles) << context;
+  EXPECT_EQ(a.iteration_samples, b.iteration_samples) << context;
+  EXPECT_EQ(a.correct_by_iteration, b.correct_by_iteration) << context;
+  EXPECT_EQ(a.correct_raw_by_iteration, b.correct_raw_by_iteration) << context;
+  EXPECT_EQ(a.iterations_solved.count(), b.iterations_solved.count())
+      << context;
+  EXPECT_EQ(a.iterations_solved.mean(), b.iterations_solved.mean()) << context;
+}
+
+// --- frame parser hardening -------------------------------------------------
+
+TEST(FrameParser, ReassemblesSplitFrames) {
+  const std::string frame =
+      sweep::encode_frame(sweep::FrameKind::kTask,
+                          sweep::encode_task({3, 4, 8}));
+  sweep::FrameParser parser;
+  // Feed one byte at a time: no frame until the last byte lands.
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    parser.feed(frame.data() + i, 1);
+    EXPECT_FALSE(parser.next().has_value()) << "byte " << i;
+  }
+  parser.feed(frame.data() + frame.size() - 1, 1);
+  auto parsed = parser.next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, sweep::FrameKind::kTask);
+  const sweep::TaskFrame task = sweep::decode_task(parsed->payload);
+  EXPECT_EQ(task.cell, 3u);
+  EXPECT_EQ(task.begin, 4u);
+  EXPECT_EQ(task.end, 8u);
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParser, RejectsUnknownKind) {
+  sweep::FrameParser parser;
+  std::string bogus(16, '\0');
+  bogus[0] = static_cast<char>(0x7f);  // not a FrameKind
+  parser.feed(bogus.data(), bogus.size());
+  EXPECT_THROW((void)parser.next(), std::runtime_error);
+}
+
+TEST(FrameParser, RejectsOversizedPayloadLength) {
+  std::string bogus;
+  bogus.push_back(static_cast<char>(sweep::FrameKind::kResult));
+  sweep::put_u64(bogus, sweep::kMaxFramePayload + 1);
+  sweep::FrameParser parser;
+  parser.feed(bogus.data(), bogus.size());
+  // The length field alone condemns the stream: no need to wait for 1 GiB.
+  EXPECT_THROW((void)parser.next(), std::runtime_error);
+}
+
+TEST(Protocol, TruncatedPayloadsThrowTyped) {
+  sweep::CellResult r;
+  r.index = 1;
+  r.stats.trials = 4;
+  r.stats.iteration_samples = {2.0, 3.0};
+  const std::string payload = sweep::encode_result(0, r);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}, payload.size() / 2,
+                          payload.size() - 1}) {
+    EXPECT_THROW(
+        (void)sweep::decode_result(std::string_view(payload.data(), cut)),
+        std::runtime_error)
+        << "cut at " << cut;
+  }
+  // Trailing garbage is rejected too, not silently ignored.
+  EXPECT_THROW((void)sweep::decode_result(payload + "x"), std::runtime_error);
+  EXPECT_THROW((void)sweep::decode_hello("abc"), std::runtime_error);
+  EXPECT_THROW((void)sweep::decode_task("abc"), std::runtime_error);
+  EXPECT_THROW((void)sweep::decode_spec_init("ab"), std::runtime_error);
+}
+
+TEST(Protocol, ResultRoundTripPreservesEveryField) {
+  sweep::CellResult r;
+  r.index = 7;
+  r.coordinates = {{"M", "16"}, {"noise", "0.05"}};
+  r.params["sigma"] = 0.5;
+  r.meta["tag"] = "hello, \"world\"\n";
+  r.dim = 1024;
+  r.factors = 3;
+  r.codebook_size = 16;
+  r.trials = 12;
+  r.max_iterations = 2824079;  // full-scale Table II cap survives
+  r.query_flip_prob = 0.05;
+  r.seed = 0xdeadbeefcafef00dULL;
+  r.stats.trials = 12;
+  r.stats.solved = 9;
+  r.stats.correct = 10;
+  r.stats.iteration_samples = {1.0, 2824079.0, 17.0};
+  for (double x : r.stats.iteration_samples) r.stats.iterations_solved.add(x);
+  r.stats.correct_by_iteration = {1, 2, 3};
+  r.stats.correct_raw_by_iteration = {4, 5};
+  r.wall_seconds = 1.25;
+
+  auto [begin, d] = sweep::decode_result(sweep::encode_result(16, r));
+  EXPECT_EQ(begin, 16u);
+  EXPECT_EQ(d.index, r.index);
+  EXPECT_EQ(d.coordinates, r.coordinates);
+  EXPECT_EQ(d.params, r.params);
+  EXPECT_EQ(d.meta, r.meta);
+  EXPECT_EQ(d.max_iterations, r.max_iterations);
+  EXPECT_EQ(d.seed, r.seed);
+  EXPECT_EQ(d.wall_seconds, r.wall_seconds);
+  expect_stats_equal(d.stats, r.stats, "wire round trip");
+}
+
+TEST(Protocol, SpecInitRoundTrip) {
+  sweep::SpecInitFrame init;
+  init.grid.name = "table2";
+  init.grid.params = {{"rows", "2"}, {"seed", "99"}};
+  init.cell_threads = 3;
+  init.cell_count = 4;
+  init.fingerprint = 0x1234abcd5678ULL;
+  const sweep::SpecInitFrame d =
+      sweep::decode_spec_init(sweep::encode_spec_init(init));
+  EXPECT_EQ(d.grid.name, init.grid.name);
+  EXPECT_EQ(d.grid.params, init.grid.params);
+  EXPECT_EQ(d.cell_threads, init.cell_threads);
+  EXPECT_EQ(d.cell_count, init.cell_count);
+  EXPECT_EQ(d.fingerprint, init.fingerprint);
+}
+
+// --- registry + fingerprint -------------------------------------------------
+
+TEST(GridRegistry, BuildsRegisteredGridsAndRejectsUnknown) {
+  register_unit_grid();
+  EXPECT_TRUE(sweep::grid_registered(kUnitGrid));
+  const sweep::SweepSpec spec = sweep::build_grid({kUnitGrid, {}});
+  EXPECT_EQ(spec.cell_count(), 4u);
+  EXPECT_EQ(spec.name, kUnitGrid);
+  EXPECT_THROW((void)sweep::build_grid({"no-such-grid", {}}),
+               std::out_of_range);
+}
+
+TEST(GridRegistry, FingerprintSeparatesParamsAndMatchesRebuild) {
+  register_unit_grid();
+  const auto a = sweep::spec_fingerprint(sweep::build_grid({kUnitGrid, {}}));
+  const auto a2 = sweep::spec_fingerprint(sweep::build_grid({kUnitGrid, {}}));
+  const auto b = sweep::spec_fingerprint(
+      sweep::build_grid({kUnitGrid, {{"seed", "999"}}}));
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+}
+
+#if !defined(_WIN32)
+
+// --- TCP loopback -----------------------------------------------------------
+
+sweep::TcpConfig loopback_listen(unsigned workers) {
+  sweep::TcpConfig cfg;
+  cfg.listen = "127.0.0.1:0";
+  cfg.accept_workers = workers;
+  cfg.accept_timeout_ms = 30000;
+  return cfg;
+}
+
+// Launch `n` real serve loops, each dialing the transport's port from its
+// own thread (the serve loop only sees fds, so a thread is as good as a
+// remote process — the StdioTransport test covers the exec path).
+std::vector<std::thread> launch_tcp_workers(std::uint16_t port, unsigned n) {
+  std::vector<std::thread> workers;
+  for (unsigned i = 0; i < n; ++i) {
+    workers.emplace_back([port]() {
+      const int fd = sweep::tcp_connect("127.0.0.1:" + std::to_string(port),
+                                        /*retries=*/40, /*retry_ms=*/50);
+      sweep::serve_remote_worker(fd, fd);
+    });
+  }
+  return workers;
+}
+
+TEST(TcpTransport, LoopbackSweepBitIdenticalToInProcess) {
+  register_unit_grid();
+  const sweep::GridRef ref{kUnitGrid, {{"trials", "12"}}};
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+
+  const auto reference = sweep::run_sweep(spec, {});  // inline, 1 worker
+
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(2));
+  auto workers = launch_tcp_workers(transport->listen_port(), 2);
+
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = ref;
+  const auto remote = sweep::run_sweep(spec, opt);
+
+  ASSERT_EQ(remote.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(remote[i].index, reference[i].index);
+    EXPECT_EQ(remote[i].seed, reference[i].seed);
+    EXPECT_EQ(remote[i].coordinates, reference[i].coordinates);
+    expect_stats_equal(remote[i].stats, reference[i].stats,
+                       "tcp cell " + std::to_string(i));
+  }
+
+  // The JSON artifacts agree byte for byte once the wall clock is zeroed —
+  // the same check the sweep-distributed CI job performs across processes.
+  auto strip = [](std::vector<sweep::CellResult> rs) {
+    for (auto& r : rs) r.wall_seconds = 0.0;
+    return rs;
+  };
+  EXPECT_EQ(sweep::json_string(spec.name, strip(remote)),
+            sweep::json_string(spec.name, strip(reference)));
+
+  // A persistent fleet serves a second sweep over the same connections.
+  const auto again = sweep::run_sweep(spec, opt);
+  ASSERT_EQ(again.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(again[i].stats, reference[i].stats,
+                       "tcp rebind cell " + std::to_string(i));
+  }
+
+  transport.reset();
+  opt.transport.reset();  // destruction sends Shutdown; workers exit
+  for (auto& w : workers) w.join();
+}
+
+TEST(TcpTransport, MixedLocalShardsAndRemoteWorkers) {
+  register_unit_grid();
+  const sweep::GridRef ref{kUnitGrid, {{"trials", "12"}}};
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+  const auto reference = sweep::run_sweep(spec, {});
+
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(1));
+  auto workers = launch_tcp_workers(transport->listen_port(), 1);
+
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = ref;
+  opt.shards = 2;  // forked local shards pull from the same queue
+  const auto mixed = sweep::run_sweep(spec, opt);
+  ASSERT_EQ(mixed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(mixed[i].stats, reference[i].stats,
+                       "mixed cell " + std::to_string(i));
+  }
+
+  transport.reset();
+  opt.transport.reset();
+  for (auto& w : workers) w.join();
+}
+
+// --- handshake rejection ----------------------------------------------------
+
+TEST(TcpTransport, RejectsProtocolVersionMismatch) {
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(1));
+  std::thread impostor([port = transport->listen_port()]() {
+    const int fd = sweep::tcp_connect("127.0.0.1:" + std::to_string(port),
+                                      40, 50);
+    sweep::HelloFrame hello;
+    hello.version = sweep::kProtocolVersion + 1;
+    const std::string frame =
+        sweep::encode_frame(sweep::FrameKind::kHello,
+                            sweep::encode_hello(hello));
+    (void)!::write(fd, frame.data(), frame.size());
+    // Linger until the coordinator reacts, then drop the socket.
+    char buf[256];
+    (void)!::read(fd, buf, sizeof buf);
+    ::close(fd);
+  });
+
+  register_unit_grid();
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = {kUnitGrid, {}};
+  const sweep::SweepSpec spec = sweep::build_grid(opt.grid);
+  try {
+    (void)sweep::run_sweep(spec, opt);
+    FAIL() << "expected a protocol version rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  impostor.join();
+}
+
+TEST(TcpTransport, RejectsFingerprintMismatch) {
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(1));
+  // A well-spoken worker that resolved "a different grid": it handshakes
+  // correctly but echoes a corrupted fingerprint.
+  std::thread liar([port = transport->listen_port()]() {
+    const int fd = sweep::tcp_connect("127.0.0.1:" + std::to_string(port),
+                                      40, 50);
+    sweep::WorkerChannel ch(sweep::WorkerChannel::Kind::kTcp, fd, fd, -1,
+                            "liar");
+    ch.send(sweep::FrameKind::kHello, sweep::encode_hello({}));
+    auto ack = ch.await_frame(10000);
+    ASSERT_TRUE(ack && ack->kind == sweep::FrameKind::kHelloAck);
+    auto init = ch.await_frame(10000);
+    ASSERT_TRUE(init && init->kind == sweep::FrameKind::kSpecInit);
+    const sweep::SpecInitFrame request =
+        sweep::decode_spec_init(init->payload);
+    sweep::SpecReadyFrame ready;
+    ready.cell_count = request.cell_count;
+    ready.fingerprint = request.fingerprint ^ 1;  // close, but wrong
+    ch.send(sweep::FrameKind::kSpecReady, sweep::encode_spec_ready(ready));
+    (void)ch.await_frame(10000);  // wait for the coordinator to hang up
+  });
+
+  register_unit_grid();
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = {kUnitGrid, {}};
+  const sweep::SweepSpec spec = sweep::build_grid(opt.grid);
+  try {
+    (void)sweep::run_sweep(spec, opt);
+    FAIL() << "expected a fingerprint rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different grid"), std::string::npos)
+        << e.what();
+  }
+  transport.reset();
+  opt.transport.reset();
+  liar.join();
+}
+
+// --- disconnect requeue -----------------------------------------------------
+
+TEST(TcpTransport, DisconnectMidCellRequeuesOntoSurvivors) {
+  register_unit_grid();
+  const sweep::GridRef ref{kUnitGrid, {{"trials", "12"}}};
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+  const auto reference = sweep::run_sweep(spec, {});
+
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(2));
+  const std::uint16_t port = transport->listen_port();
+
+  // Worker 1: handshakes, accepts its first task, then dies mid-cell.
+  std::thread deserter([port]() {
+    const int fd = sweep::tcp_connect("127.0.0.1:" + std::to_string(port),
+                                      40, 50);
+    sweep::WorkerChannel ch(sweep::WorkerChannel::Kind::kTcp, fd, fd, -1,
+                            "deserter");
+    ch.send(sweep::FrameKind::kHello, sweep::encode_hello({}));
+    auto ack = ch.await_frame(10000);
+    ASSERT_TRUE(ack && ack->kind == sweep::FrameKind::kHelloAck);
+    auto init = ch.await_frame(10000);
+    ASSERT_TRUE(init && init->kind == sweep::FrameKind::kSpecInit);
+    const sweep::SpecInitFrame request =
+        sweep::decode_spec_init(init->payload);
+    sweep::SpecReadyFrame ready;
+    ready.cell_count = request.cell_count;
+    ready.fingerprint = request.fingerprint;
+    ch.send(sweep::FrameKind::kSpecReady, sweep::encode_spec_ready(ready));
+    auto task = ch.await_frame(10000);  // a block is now assigned to us...
+    ASSERT_TRUE(task && task->kind == sweep::FrameKind::kTask);
+    ch.close_all();  // ...and we vanish without answering
+  });
+  // Worker 2: a faithful serve loop that inherits the deserter's blocks.
+  auto survivors = launch_tcp_workers(port, 1);
+
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = ref;
+  const auto results = sweep::run_sweep(spec, opt);
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(results[i].stats, reference[i].stats,
+                       "requeued cell " + std::to_string(i));
+  }
+
+  deserter.join();
+  transport.reset();
+  opt.transport.reset();
+  for (auto& w : survivors) w.join();
+}
+
+// A worker that disconnects at the TAIL of the sweep — when the queue has
+// drained and the survivors already went idle — must have its block
+// reassigned (the idle survivors are reopened), not stranded while the
+// scheduler polls forever.
+TEST(TcpTransport, TailDisconnectReassignsToIdleSurvivor) {
+  register_unit_grid();
+  const sweep::GridRef ref{kUnitGrid, {{"trials", "4"}}};  // 1 block per cell
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+  const auto reference = sweep::run_sweep(spec, {});
+  ASSERT_EQ(reference.size(), 4u);
+
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(2));
+  const std::uint16_t port = transport->listen_port();
+
+  std::atomic<bool> others_done{false};
+  // The deserter takes one block and sits on it until every OTHER cell has
+  // completed — by then the faithful survivor is idle with a drained
+  // queue — and only then vanishes.
+  std::thread deserter([port, &others_done]() {
+    const int fd = sweep::tcp_connect("127.0.0.1:" + std::to_string(port),
+                                      40, 50);
+    sweep::WorkerChannel ch(sweep::WorkerChannel::Kind::kTcp, fd, fd, -1,
+                            "tail-deserter");
+    ch.send(sweep::FrameKind::kHello, sweep::encode_hello({}));
+    auto ack = ch.await_frame(10000);
+    ASSERT_TRUE(ack && ack->kind == sweep::FrameKind::kHelloAck);
+    auto init = ch.await_frame(10000);
+    ASSERT_TRUE(init && init->kind == sweep::FrameKind::kSpecInit);
+    const sweep::SpecInitFrame request =
+        sweep::decode_spec_init(init->payload);
+    sweep::SpecReadyFrame ready;
+    ready.cell_count = request.cell_count;
+    ready.fingerprint = request.fingerprint;
+    ch.send(sweep::FrameKind::kSpecReady, sweep::encode_spec_ready(ready));
+    auto task = ch.await_frame(10000);
+    ASSERT_TRUE(task && task->kind == sweep::FrameKind::kTask);
+    while (!others_done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ch.close_all();
+  });
+  auto survivors = launch_tcp_workers(port, 1);
+
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = ref;
+  opt.progress = [&others_done](const sweep::CellResult&, std::size_t done,
+                                std::size_t total) {
+    if (done == total - 1) others_done.store(true);
+  };
+  const auto results = sweep::run_sweep(spec, opt);
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(results[i].stats, reference[i].stats,
+                       "tail-requeued cell " + std::to_string(i));
+  }
+
+  deserter.join();
+  transport.reset();
+  opt.transport.reset();
+  for (auto& w : survivors) w.join();
+}
+
+// --- stdio transport (real exec path) ---------------------------------------
+
+TEST(StdioTransport, SpawnedWorkerSweepBitIdentical) {
+  ASSERT_FALSE(g_self_exe.empty());
+  register_unit_grid();
+  const sweep::GridRef ref{kUnitGrid, {{"trials", "12"}}};
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+  const auto reference = sweep::run_sweep(spec, {});
+
+  auto transport = std::make_shared<sweep::StdioTransport>(
+      std::vector<std::string>{g_self_exe + " --serve-stdio",
+                               g_self_exe + " --serve-stdio"});
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = ref;
+  const auto remote = sweep::run_sweep(spec, opt);
+  ASSERT_EQ(remote.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(remote[i].stats, reference[i].stats,
+                       "stdio cell " + std::to_string(i));
+  }
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--serve-stdio") {
+      // Worker role (spawned by the StdioTransport test): serve the framed
+      // protocol on stdin/stdout with the unit grid registered.
+      register_unit_grid();
+      return h3dfact::sweep::serve_remote_worker(0, 1);
+    }
+  }
+#if !defined(_WIN32)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    g_self_exe = buf;
+  } else if (argc > 0) {
+    g_self_exe = argv[0];
+  }
+#endif
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
