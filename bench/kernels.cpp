@@ -6,6 +6,11 @@
 // *Batch pairs at equal {M, B} arguments). Runs under google-benchmark
 // when the system library is present, else under the internal minibench
 // harness — kernel timings always build and run.
+//
+// `--json=FILE` writes the same machine-readable artifact from either
+// harness (see docs/kernels.md for the schema): benchmark names, ns/op,
+// items/s and the active kernel backend id. CI's kernel-baseline job diffs
+// that artifact against bench/baselines/ to gate kernel regressions.
 
 #if defined(H3DFACT_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
@@ -13,12 +18,17 @@
 #include "minibench.hpp"
 #endif
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cim/crossbar.hpp"
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/kernels/backend.hpp"
 #include "resonator/batched.hpp"
 #include "resonator/channels.hpp"
 #include "util/rng.hpp"
@@ -240,6 +250,129 @@ void BM_CrossbarMvm(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarMvm)->Arg(64)->Arg(256);
 
+// --- --json artifact (shared schema across both harnesses) ----------------
+
+struct KernelTiming {
+  std::string name;
+  std::size_t iterations = 0;
+  double ns_per_op = 0.0;
+  double items_per_sec = 0.0;  // 0 when the bench reports no item count
+};
+
+// Hand-rolled writer (matching the sweep emitters' style): a flat object
+// with provenance fields plus one row per timed benchmark. The `backend`
+// field is the kernel backend every hdc-layer bench ran through, which is
+// what makes two artifacts comparable.
+void write_json(const std::string& path, const char* harness,
+                const std::vector<KernelTiming>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open --json output file: " + path);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"backend\": \"%s\",\n",
+               h3dfact::hdc::kernels::active().name);
+  std::fprintf(f, "  \"harness\": \"%s\",\n", harness);
+  std::fprintf(f, "  \"benchmarks\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelTiming& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"iterations\": %zu, "
+                 "\"ns_per_op\": %.6g, \"items_per_sec\": %.6g}",
+                 i == 0 ? "" : ",", r.name.c_str(), r.iterations, r.ns_per_op,
+                 r.items_per_sec);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu benchmark timings to %s (backend: %s)\n",
+              rows.size(), path.c_str(),
+              h3dfact::hdc::kernels::active().name);
+}
+
+// Pull our --json=FILE flag out of argv (both harnesses reject flags they
+// don't know) and return the remaining argc.
+int extract_json_flag(int argc, char** argv, std::string* json_path) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+#if defined(H3DFACT_HAVE_GBENCH)
+
+namespace {
+
+// Collects every run for the --json artifact while delegating the normal
+// console output to the base reporter.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      KernelTiming t;
+      t.name = run.benchmark_name();
+      t.iterations = static_cast<std::size_t>(run.iterations);
+      t.ns_per_op = run.iterations == 0
+                        ? 0.0
+                        : 1e9 * run.real_accumulated_time /
+                              static_cast<double>(run.iterations);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) t.items_per_sec = it->second;
+      rows.push_back(std::move(t));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<KernelTiming> rows;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  argc = extract_json_flag(argc, argv, &json_path);
+  benchmark::Initialize(&argc, argv);
+  // A typoed flag (e.g. --jsn=, or --json with a space) must fail up front,
+  // not after a multi-minute run that silently writes no artifact.
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::printf("kernel backend: %s\n", h3dfact::hdc::kernels::active().name);
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) write_json(json_path, "google-benchmark", reporter.rows);
+  benchmark::Shutdown();
+  return 0;
+}
+
+#else  // minibench harness
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  argc = extract_json_flag(argc, argv, &json_path);
+  if (argc > 1) {
+    std::fprintf(stderr, "unrecognized argument: %s (minibench harness only "
+                 "accepts --json=FILE)\n", argv[1]);
+    return 1;
+  }
+  std::printf("kernel backend: %s\n", h3dfact::hdc::kernels::active().name);
+  const std::vector<benchmark::internal::Result> results =
+      benchmark::internal::run_all();
+  if (!json_path.empty()) {
+    std::vector<KernelTiming> rows;
+    rows.reserve(results.size());
+    for (const auto& r : results) {
+      rows.push_back(KernelTiming{r.name, r.iterations, r.ns_per_op,
+                                  r.items_per_sec});
+    }
+    write_json(json_path, "minibench", rows);
+  }
+  return 0;
+}
+
+#endif

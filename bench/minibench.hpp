@@ -128,10 +128,20 @@ inline double min_seconds() {
   return 0.1;
 }
 
-inline int run_all() {
+// One timed benchmark instance, as printed (and as serialized by callers
+// that want a machine-readable artifact, e.g. bench/kernels --json).
+struct Result {
+  std::string name;         // e.g. "BM_Similarity/256" (gbench naming)
+  std::size_t iterations = 0;
+  double ns_per_op = 0.0;
+  double items_per_sec = 0.0;  // 0 when the bench sets no item count
+};
+
+inline std::vector<Result> run_all() {
   std::printf("%-40s %15s %12s %15s\n", "benchmark (minibench fallback)",
               "iterations", "ns/op", "items/s");
   const double min_s = min_seconds();
+  std::vector<Result> results;
   for (Benchmark& bench : registry()) {
     std::vector<std::vector<std::int64_t>> arg_sets = bench.arg_sets;
     if (arg_sets.empty()) arg_sets.push_back({});
@@ -143,21 +153,27 @@ inline int run_all() {
       const double secs = state.elapsed_seconds();
       const auto iters = static_cast<double>(std::max<std::size_t>(
           1, state.iterations()));
+      Result r;
+      r.name = name;
+      r.iterations = state.iterations();
+      r.ns_per_op = 1e9 * secs / iters;
       std::printf("%-40s %15zu %12.1f", name.c_str(), state.iterations(),
-                  1e9 * secs / iters);
+                  r.ns_per_op);
       if (state.items_processed() > 0) {
         // items_processed is per the whole timing loop in the gbench
         // convention used by kernels.cpp (iterations * per-iter items).
-        std::printf(" %15.3g", static_cast<double>(state.items_processed()) /
-                                   std::max(secs, 1e-12));
+        r.items_per_sec = static_cast<double>(state.items_processed()) /
+                          std::max(secs, 1e-12);
+        std::printf(" %15.3g", r.items_per_sec);
       } else {
         std::printf(" %15s", "-");
       }
       std::printf("\n");
       std::fflush(stdout);
+      results.push_back(std::move(r));
     }
   }
-  return 0;
+  return results;
 }
 
 }  // namespace internal
@@ -170,4 +186,7 @@ inline int run_all() {
       H3DFACT_MINIBENCH_CONCAT(minibench_reg_, __LINE__) =       \
           ::benchmark::internal::register_benchmark(#fn, fn)
 #define BENCHMARK_MAIN() \
-  int main() { return ::benchmark::internal::run_all(); }
+  int main() {                                   \
+    (void)::benchmark::internal::run_all();      \
+    return 0;                                    \
+  }

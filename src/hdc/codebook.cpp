@@ -1,102 +1,17 @@
 #include "hdc/codebook.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-// Both the per-call and the batched kernels runtime-dispatch onto AVX2 where
-// the CPU supports it; the build itself stays at the baseline ISA so the
-// binaries remain portable.
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define H3DFACT_X86_DISPATCH 1
-#include <immintrin.h>
-#endif
+// All arithmetic routes through the multi-ISA kernel backend layer
+// (scalar/AVX2/NEON, selected at runtime): see hdc/kernels/backend.hpp.
+#include "hdc/kernels/backend.hpp"
 
 namespace h3dfact::hdc {
-
-namespace {
-
-#if defined(H3DFACT_X86_DISPATCH)
-
-bool cpu_has_avx2() {
-  static const bool ok = __builtin_cpu_supports("avx2");
-  return ok;
-}
-
-// popcount(a XOR b) over nw words via the nibble-LUT (Mula) algorithm:
-// 32 bytes per step, byte counts reduced with SAD against zero.
-__attribute__((target("avx2"))) long long xor_popcount_avx2(
-    const std::uint64_t* a, const std::uint64_t* b, std::size_t nw) {
-  const __m256i lut =
-      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
-                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-  const __m256i low = _mm256_set1_epi8(0x0f);
-  __m256i acc = _mm256_setzero_si256();
-  std::size_t w = 0;
-  for (; w + 4 <= nw; w += 4) {
-    const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
-    const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
-    const __m256i x = _mm256_xor_si256(va, vb);
-    const __m256i lo = _mm256_and_si256(x, low);
-    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(x, 4), low);
-    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
-                                        _mm256_shuffle_epi8(lut, hi));
-    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
-  }
-  alignas(32) std::uint64_t lanes[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
-  long long total =
-      static_cast<long long>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
-  for (; w < nw; ++w) total += std::popcount(a[w] ^ b[w]);
-  return total;
-}
-
-// y[0..n) += a * row[0..n) with ±1 int8 rows widened to i32.
-__attribute__((target("avx2"))) void axpy_row_avx2(int a,
-                                                   const std::int8_t* row,
-                                                   int* y, std::size_t n) {
-  const __m256i va = _mm256_set1_epi32(a);
-  std::size_t d = 0;
-  for (; d + 8 <= n; d += 8) {
-    const __m128i r8 =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + d));
-    const __m256i r32 = _mm256_cvtepi8_epi32(r8);
-    __m256i yv = _mm256_loadu_si256(reinterpret_cast<__m256i*>(y + d));
-    yv = _mm256_add_epi32(yv, _mm256_mullo_epi32(va, r32));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + d), yv);
-  }
-  for (; d < n; ++d) y[d] += a * row[d];
-}
-
-#endif  // H3DFACT_X86_DISPATCH
-
-long long xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
-                       std::size_t nw) {
-#if defined(H3DFACT_X86_DISPATCH)
-  if (cpu_has_avx2()) return xor_popcount_avx2(a, b, nw);
-#endif
-  long long disagree = 0;
-  for (std::size_t w = 0; w < nw; ++w) disagree += std::popcount(a[w] ^ b[w]);
-  return disagree;
-}
-
-void axpy_row(int a, const std::int8_t* row, int* y, std::size_t n) {
-#if defined(H3DFACT_X86_DISPATCH)
-  if (cpu_has_avx2()) {
-    axpy_row_avx2(a, row, y, n);
-    return;
-  }
-#endif
-  for (std::size_t d = 0; d < n; ++d) y[d] += a * row[d];
-}
-
-}  // namespace
 
 std::vector<int> CoeffBlock::item(std::size_t b) const {
   std::vector<int> out(size);
@@ -146,21 +61,35 @@ void Codebook::build_dense() {
     auto row = vectors_[m].to_i8();
     std::copy(row.begin(), row.end(), dense_.begin() + static_cast<std::ptrdiff_t>(m * dim_));
   }
+  words_ = vectors_.empty() ? 0 : vectors_.front().words();
+  packed_.resize(vectors_.size() * words_);
+  for (std::size_t m = 0; m < vectors_.size(); ++m) {
+    std::copy(vectors_[m].data(), vectors_[m].data() + words_,
+              packed_.begin() + static_cast<std::ptrdiff_t>(m * words_));
+  }
 }
 
 std::vector<int> Codebook::similarity(const BipolarVector& u) const {
+  return similarity(u, kernels::active());
+}
+
+std::vector<int> Codebook::similarity(
+    const BipolarVector& u, const kernels::KernelBackend& backend) const {
   if (u.dim() != dim_) throw std::invalid_argument("dim mismatch in similarity");
   std::vector<int> a(vectors_.size());
   const std::uint64_t* uw = u.data();
-  const std::size_t nw = u.words();
-  for (std::size_t m = 0; m < vectors_.size(); ++m) {
-    const long long disagree = xor_popcount(uw, vectors_[m].data(), nw);
-    a[m] = static_cast<int>(static_cast<long long>(dim_) - 2 * disagree);
-  }
+  backend.similarity_tile(packed_.data(), words_, vectors_.size(), &uw, 1,
+                          words_, static_cast<long long>(dim_), a.data(), 1);
   return a;
 }
 
 std::vector<int> Codebook::project(const std::vector<int>& coeffs) const {
+  return project(coeffs, kernels::active());
+}
+
+std::vector<int> Codebook::project(
+    const std::vector<int>& coeffs,
+    const kernels::KernelBackend& backend) const {
   if (coeffs.size() != vectors_.size()) {
     throw std::invalid_argument("coefficient count mismatch in project");
   }
@@ -168,12 +97,18 @@ std::vector<int> Codebook::project(const std::vector<int>& coeffs) const {
   for (std::size_t m = 0; m < vectors_.size(); ++m) {
     const int a = coeffs[m];
     if (a == 0) continue;
-    axpy_row(a, dense_.data() + m * dim_, y.data(), dim_);
+    backend.axpy_row(a, dense_.data() + m * dim_, y.data(), dim_);
   }
   return y;
 }
 
 CoeffBlock Codebook::similarity_batch(std::span<const BipolarVector> us) const {
+  return similarity_batch(us, kernels::active());
+}
+
+CoeffBlock Codebook::similarity_batch(
+    std::span<const BipolarVector> us,
+    const kernels::KernelBackend& backend) const {
   CoeffBlock a(vectors_.size(), us.size());
   for (const auto& u : us) {
     if (u.dim() != dim_) {
@@ -182,26 +117,29 @@ CoeffBlock Codebook::similarity_batch(std::span<const BipolarVector> us) const {
   }
   const std::size_t kB = us.size();
   const std::size_t kM = vectors_.size();
+  if (kB == 0 || kM == 0) return a;
+  std::vector<const std::uint64_t*> queries(kB);
+  for (std::size_t b = 0; b < kB; ++b) queries[b] = us[b].data();
   // A tile of codebook rows stays L1-hot while every query of the batch is
   // scored against it; the per-call path re-streams the whole codebook once
   // per query instead.
   constexpr std::size_t kRowTile = 8;
   for (std::size_t m0 = 0; m0 < kM; m0 += kRowTile) {
     const std::size_t m1 = std::min(m0 + kRowTile, kM);
-    for (std::size_t b = 0; b < kB; ++b) {
-      const std::uint64_t* uw = us[b].data();
-      const std::size_t nw = us[b].words();
-      for (std::size_t m = m0; m < m1; ++m) {
-        const long long disagree = xor_popcount(uw, vectors_[m].data(), nw);
-        a.at(m, b) =
-            static_cast<int>(static_cast<long long>(dim_) - 2 * disagree);
-      }
-    }
+    backend.similarity_tile(packed_.data() + m0 * words_, words_, m1 - m0,
+                            queries.data(), kB, words_,
+                            static_cast<long long>(dim_), a.data.data() + m0 * kB,
+                            kB);
   }
   return a;
 }
 
 CoeffBlock Codebook::project_batch(const CoeffBlock& coeffs) const {
+  return project_batch(coeffs, kernels::active());
+}
+
+CoeffBlock Codebook::project_batch(
+    const CoeffBlock& coeffs, const kernels::KernelBackend& backend) const {
   if (coeffs.size != vectors_.size()) {
     throw std::invalid_argument("coefficient count mismatch in project_batch");
   }
@@ -212,12 +150,8 @@ CoeffBlock Codebook::project_batch(const CoeffBlock& coeffs) const {
   // row-axpy kernel; a dense row services the whole batch while L1-hot.
   std::vector<int> scratch(kB * dim_, 0);
   for (std::size_t m = 0; m < vectors_.size(); ++m) {
-    const std::int8_t* row = dense_.data() + m * dim_;
-    for (std::size_t b = 0; b < kB; ++b) {
-      const int c = coeffs.at(m, b);
-      if (c == 0) continue;
-      axpy_row(c, row, scratch.data() + b * dim_, dim_);
-    }
+    backend.project_tile(dense_.data() + m * dim_, dim_,
+                         coeffs.data.data() + m * kB, kB, scratch.data());
   }
   for (std::size_t d = 0; d < dim_; ++d) {
     for (std::size_t b = 0; b < kB; ++b) {

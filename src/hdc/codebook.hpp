@@ -6,7 +6,10 @@
 //   similarity  a = Xᵀ u   (M integer dot products — RRAM tier-3 in hardware)
 //   projection  y = X a    (D integer accumulations — RRAM tier-2 in hardware)
 // Both are provided here as exact software kernels; the cim/arch layers model
-// the same computation through the noisy analog path.
+// the same computation through the noisy analog path. The arithmetic itself
+// lives in the multi-ISA backend layer (hdc/kernels/backend.hpp): every
+// per-call and batched entry point routes through the runtime-selected
+// KernelBackend, with an overload to pin a specific backend explicitly.
 
 #include <cstdint>
 #include <span>
@@ -17,6 +20,10 @@
 #include "util/rng.hpp"
 
 namespace h3dfact::hdc {
+
+namespace kernels {
+struct KernelBackend;
+}  // namespace kernels
 
 /// Structure-of-arrays block of integer coefficients for B batch items of
 /// `size` entries each: entry i of item b lives at data[i*batch + b], so a
@@ -69,8 +76,18 @@ class Codebook {
   /// a = Xᵀ u: dot product of u with every codevector. a[m] ∈ [−D, D].
   [[nodiscard]] std::vector<int> similarity(const BipolarVector& u) const;
 
+  /// similarity() pinned to one kernel backend (parity tests, A/B timing);
+  /// the overload without a backend uses the runtime-selected one.
+  [[nodiscard]] std::vector<int> similarity(
+      const BipolarVector& u, const kernels::KernelBackend& backend) const;
+
   /// y = X a: weighted sum of codevectors with integer coefficients.
   [[nodiscard]] std::vector<int> project(const std::vector<int>& coeffs) const;
+
+  /// project() pinned to one kernel backend.
+  [[nodiscard]] std::vector<int> project(
+      const std::vector<int>& coeffs,
+      const kernels::KernelBackend& backend) const;
 
   /// Batched a_b = Xᵀ u_b over the shared codebook: blocked XOR+popcount in
   /// which a tile of codebook rows stays hot in cache across every query of
@@ -79,10 +96,19 @@ class Codebook {
   [[nodiscard]] CoeffBlock similarity_batch(
       std::span<const BipolarVector> us) const;
 
+  /// similarity_batch() pinned to one kernel backend.
+  [[nodiscard]] CoeffBlock similarity_batch(
+      std::span<const BipolarVector> us,
+      const kernels::KernelBackend& backend) const;
+
   /// Batched y_b = X a_b: each dense codebook row is streamed once and
   /// applied to all batch accumulators. `coeffs.size == size()`. Returns a
   /// D×B block; item b is bit-for-bit equal to project(coeffs.item(b)).
   [[nodiscard]] CoeffBlock project_batch(const CoeffBlock& coeffs) const;
+
+  /// project_batch() pinned to one kernel backend.
+  [[nodiscard]] CoeffBlock project_batch(
+      const CoeffBlock& coeffs, const kernels::KernelBackend& backend) const;
 
   /// Fused resonator step: sign(X (Xᵀ u)) with deterministic tie-break.
   [[nodiscard]] BipolarVector resonate(const BipolarVector& u) const;
@@ -108,6 +134,10 @@ class Codebook {
   std::string name_;
   std::vector<BipolarVector> vectors_;
   std::vector<std::int8_t> dense_;  // size() rows × dim() cols, ±1
+  // Row-major copy of the packed codevector words (size() rows × words_
+  // words), so the similarity tile kernels stream rows contiguously.
+  std::vector<std::uint64_t> packed_;
+  std::size_t words_ = 0;  // packed words per row
 };
 
 /// The F codebooks of a factorization problem, e.g. {shape, color, v-pos, h-pos}.

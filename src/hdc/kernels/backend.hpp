@@ -1,0 +1,97 @@
+#pragma once
+// Multi-ISA kernel backend layer for the two MVM hot-path primitives
+// (XOR+popcount similarity, ±1-row axpy projection) and their batched tile
+// variants. Each backend is one translation unit compiled for its ISA
+// (scalar always; AVX2 via function-level target attributes on x86_64; NEON
+// on aarch64 where Advanced SIMD is baseline). Selection happens once at
+// runtime from CPU features, overridable by the H3DFACT_KERNEL_BACKEND
+// environment variable or programmatically via force_backend() — so any
+// compiled-in backend can be exercised on any host that supports it, and
+// the parity suite can pin every backend against scalar bit for bit.
+//
+// The contract for every entry point is exact integer arithmetic: all
+// backends must produce bit-identical results for identical inputs. The
+// tail elements past the widest vector width are always handled (scalar
+// loops), so arbitrary dims/word counts are valid.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace h3dfact::hdc::kernels {
+
+/// One ISA-specific implementation of the MVM kernel primitives. Plain
+/// function-pointer table so per-ISA translation units stay free of
+/// virtual-dispatch plumbing and the active table is one pointer load.
+struct KernelBackend {
+  /// Stable identifier: "scalar", "avx2" or "neon". Also the value the
+  /// H3DFACT_KERNEL_BACKEND environment variable matches against, and the
+  /// `backend` field of the bench/kernels --json artifact.
+  const char* name;
+
+  /// popcount(a XOR b) over nw 64-bit words (the disagree count behind the
+  /// similarity dot product a·b = dim − 2·disagree).
+  long long (*xor_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t nw);
+
+  /// y[0..n) += a * row[0..n) with ±1 int8 rows widened to i32.
+  void (*axpy_row)(int a, const std::int8_t* row, int* y, std::size_t n);
+
+  /// Batched similarity tile: for every query q and tile row i,
+  ///   sims[i * sim_stride + q] = dim − 2·popcount(queries[q] XOR row_i)
+  /// where row_i = rows[i * row_stride .. i * row_stride + nw). Queries
+  /// iterate outermost so a tile of rows stays L1-hot across the whole
+  /// batch (the blocked layout the batched codebook path relies on). With
+  /// nq == 1 and sim_stride == 1 this is the per-call similarity loop.
+  void (*similarity_tile)(const std::uint64_t* rows, std::size_t row_stride,
+                          std::size_t nrows,
+                          const std::uint64_t* const* queries, std::size_t nq,
+                          std::size_t nw, long long dim, int* sims,
+                          std::size_t sim_stride);
+
+  /// Batched projection pass of one dense ±1 row against every batch item:
+  ///   scratch[b*dim .. b*dim+dim) += coeffs[b] * row[0..dim)
+  /// for each b in [0, batch) with coeffs[b] != 0. `coeffs` is one SoA row
+  /// of a CoeffBlock (B contiguous coefficients), `scratch` batch-major.
+  void (*project_tile)(const std::int8_t* row, std::size_t dim,
+                       const int* coeffs, std::size_t batch, int* scratch);
+};
+
+/// Every backend compiled into this binary that can run on this CPU, scalar
+/// first. Scalar is always present, so the result is never empty.
+[[nodiscard]] std::vector<const KernelBackend*> available();
+
+/// Look a backend up by name among available(); nullptr when the name is
+/// unknown or the backend cannot run here (e.g. "neon" on x86_64).
+[[nodiscard]] const KernelBackend* find(std::string_view name);
+
+/// Resolve the startup selection: `requested` of nullptr/empty picks the
+/// best available backend (avx2 > neon > scalar); otherwise the named
+/// backend, throwing std::runtime_error when it is unknown or unavailable
+/// (a typoed H3DFACT_KERNEL_BACKEND must fail loudly, not silently fall
+/// back and defeat a CI parity gate). Exposed so tests can cover the
+/// resolution rules without mutating the process environment.
+[[nodiscard]] const KernelBackend& resolve_backend(const char* requested);
+
+/// The backend every kernel call routes through: a force_backend() override
+/// if one is set, else the cached startup selection (H3DFACT_KERNEL_BACKEND
+/// or CPU-feature auto-detection, resolved on first use).
+[[nodiscard]] const KernelBackend& active();
+
+/// Programmatic override of active(), e.g. to pin scalar for a parity or
+/// A/B timing run. Returns false (and changes nothing) for an unknown or
+/// unavailable name.
+bool force_backend(std::string_view name);
+
+/// Drop the force_backend() override; env/auto selection applies again.
+void reset_backend();
+
+// Per-ISA factories (one per backend translation unit). Each returns its
+// backend table, or nullptr when the ISA is not compiled in or the CPU
+// lacks the feature. Use available()/find() instead of calling these
+// directly.
+const KernelBackend* scalar_backend();
+const KernelBackend* avx2_backend();
+const KernelBackend* neon_backend();
+
+}  // namespace h3dfact::hdc::kernels

@@ -1,0 +1,77 @@
+// Runtime backend selection: CPU-feature auto-detection, the
+// H3DFACT_KERNEL_BACKEND environment override, and the programmatic
+// force_backend() seam. Selection is resolved lazily on the first active()
+// call (never during static initialization) and cached; force_backend()
+// swaps one atomic pointer, so pinning a backend mid-process is safe.
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "hdc/kernels/backend.hpp"
+
+namespace h3dfact::hdc::kernels {
+
+namespace {
+
+std::atomic<const KernelBackend*> g_forced{nullptr};
+
+}  // namespace
+
+std::vector<const KernelBackend*> available() {
+  std::vector<const KernelBackend*> out;
+  out.push_back(scalar_backend());
+  if (const KernelBackend* b = avx2_backend()) out.push_back(b);
+  if (const KernelBackend* b = neon_backend()) out.push_back(b);
+  return out;
+}
+
+const KernelBackend* find(std::string_view name) {
+  for (const KernelBackend* b : available()) {
+    if (name == b->name) return b;
+  }
+  return nullptr;
+}
+
+const KernelBackend& resolve_backend(const char* requested) {
+  if (requested != nullptr && *requested != '\0') {
+    if (const KernelBackend* b = find(requested)) return *b;
+    std::string msg =
+        "H3DFACT_KERNEL_BACKEND names an unknown or unavailable kernel "
+        "backend: \"";
+    msg += requested;
+    msg += "\" (available:";
+    for (const KernelBackend* b : available()) {
+      msg += ' ';
+      msg += b->name;
+    }
+    msg += ')';
+    throw std::runtime_error(msg);
+  }
+  if (const KernelBackend* b = avx2_backend()) return *b;
+  if (const KernelBackend* b = neon_backend()) return *b;
+  return *scalar_backend();
+}
+
+const KernelBackend& active() {
+  if (const KernelBackend* forced = g_forced.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  // Resolved once; a bad env value throws out of every active() call rather
+  // than silently falling back (the static stays uninitialized on throw).
+  static const KernelBackend& selected =
+      resolve_backend(std::getenv("H3DFACT_KERNEL_BACKEND"));
+  return selected;
+}
+
+bool force_backend(std::string_view name) {
+  const KernelBackend* b = find(name);
+  if (b == nullptr) return false;
+  g_forced.store(b, std::memory_order_release);
+  return true;
+}
+
+void reset_backend() { g_forced.store(nullptr, std::memory_order_release); }
+
+}  // namespace h3dfact::hdc::kernels

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hdc/kernels/backend.hpp"
 #include "resonator/detail.hpp"
 
 namespace h3dfact::resonator {
@@ -35,27 +36,37 @@ ExactMvmEngine::ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set)
   if (!set_) throw std::invalid_argument("null codebook set");
 }
 
+ExactMvmEngine::ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set,
+                               const hdc::kernels::KernelBackend& backend)
+    : set_(std::move(set)), backend_(&backend) {
+  if (!set_) throw std::invalid_argument("null codebook set");
+}
+
 std::vector<int> ExactMvmEngine::similarity(std::size_t factor,
                                             const hdc::BipolarVector& u,
                                             util::Rng&) {
-  return set_->book(factor).similarity(u);
+  const auto& k = backend_ ? *backend_ : hdc::kernels::active();
+  return set_->book(factor).similarity(u, k);
 }
 
 std::vector<int> ExactMvmEngine::project(std::size_t factor,
                                          const std::vector<int>& coeffs,
                                          util::Rng&) {
-  return set_->book(factor).project(coeffs);
+  const auto& k = backend_ ? *backend_ : hdc::kernels::active();
+  return set_->book(factor).project(coeffs, k);
 }
 
 hdc::CoeffBlock ExactMvmEngine::similarity_batch(
     std::size_t factor, std::span<const hdc::BipolarVector> us, util::Rng&) {
-  return set_->book(factor).similarity_batch(us);
+  const auto& k = backend_ ? *backend_ : hdc::kernels::active();
+  return set_->book(factor).similarity_batch(us, k);
 }
 
 hdc::CoeffBlock ExactMvmEngine::project_batch(std::size_t factor,
                                               const hdc::CoeffBlock& coeffs,
                                               util::Rng&) {
-  return set_->book(factor).project_batch(coeffs);
+  const auto& k = backend_ ? *backend_ : hdc::kernels::active();
+  return set_->book(factor).project_batch(coeffs, k);
 }
 
 ResonatorNetwork::ResonatorNetwork(std::shared_ptr<const hdc::CodebookSet> set,

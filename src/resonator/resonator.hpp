@@ -58,10 +58,18 @@ class MvmEngine {
       std::size_t factor, const hdc::CoeffBlock& coeffs, util::Rng& rng);
 };
 
-/// Exact software kernels over a codebook set.
+/// Exact software kernels over a codebook set. All per-call and batched
+/// work routes through the runtime-selected multi-ISA kernel backend
+/// (hdc/kernels/backend.hpp) unless a specific backend is pinned.
 class ExactMvmEngine final : public MvmEngine {
  public:
   explicit ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set);
+
+  /// Pin every MVM of this engine to one kernel backend (parity suites,
+  /// A/B timing). The single-argument constructor instead follows the
+  /// process-wide kernels::active() selection live, call by call.
+  ExactMvmEngine(std::shared_ptr<const hdc::CodebookSet> set,
+                 const hdc::kernels::KernelBackend& backend);
   [[nodiscard]] std::vector<int> similarity(std::size_t factor,
                                             const hdc::BipolarVector& u,
                                             util::Rng& rng) override;
@@ -77,6 +85,7 @@ class ExactMvmEngine final : public MvmEngine {
 
  private:
   std::shared_ptr<const hdc::CodebookSet> set_;
+  const hdc::kernels::KernelBackend* backend_ = nullptr;  // nullptr = live
 };
 
 /// Factor-update schedule.

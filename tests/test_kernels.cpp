@@ -1,0 +1,245 @@
+// Parity + dispatch tests for the multi-ISA kernel backend layer
+// (hdc/kernels). Every compiled-in backend must be bit-identical to the
+// scalar reference over randomized widths — including the tails past each
+// backend's vector width — and the selection seams (auto-detect, env
+// resolution, force_backend, the pinned ExactMvmEngine) must behave.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/kernels/backend.hpp"
+#include "resonator/problem.hpp"
+#include "resonator/resonator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace kernels = h3dfact::hdc::kernels;
+using h3dfact::hdc::BipolarVector;
+using h3dfact::hdc::Codebook;
+using h3dfact::hdc::CodebookSet;
+using h3dfact::hdc::CoeffBlock;
+using h3dfact::util::Rng;
+using kernels::KernelBackend;
+
+// Widths that straddle every backend's vector step (AVX2 popcount: 4 words;
+// NEON popcount: 2 words; axpy: 8 lanes), plus randomized sizes on top.
+const std::size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 33};
+const std::size_t kElemCounts[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 100, 1027};
+
+std::vector<std::uint64_t> random_words(std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) x = rng.next();
+  return w;
+}
+
+std::vector<std::int8_t> random_row(std::size_t n, Rng& rng) {
+  std::vector<std::int8_t> r(n);
+  for (auto& x : r) x = static_cast<std::int8_t>(rng.bipolar());
+  return r;
+}
+
+// Restore live dispatch even when a test using force_backend fails.
+struct BackendGuard {
+  ~BackendGuard() { kernels::reset_backend(); }
+};
+
+TEST(KernelDispatch, ScalarIsAlwaysAvailableAndFirst) {
+  const auto backends = kernels::available();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_STREQ(backends.front()->name, "scalar");
+  EXPECT_EQ(kernels::find("scalar"), backends.front());
+}
+
+#if defined(__aarch64__) || defined(_M_ARM64)
+TEST(KernelDispatch, NeonIsAvailableOnArm64) {
+  // Advanced SIMD is mandatory in AArch64: the NEON backend must be listed
+  // and selectable on every arm64 host (what the arm64 CI job proves).
+  EXPECT_NE(kernels::find("neon"), nullptr);
+}
+#endif
+
+TEST(KernelDispatch, FindRejectsUnknownNames) {
+  EXPECT_EQ(kernels::find("definitely-not-a-backend"), nullptr);
+  EXPECT_EQ(kernels::find(""), nullptr);
+}
+
+TEST(KernelDispatch, ResolveHonorsRequestAndThrowsOnUnknown) {
+  EXPECT_STREQ(kernels::resolve_backend("scalar").name, "scalar");
+  // nullptr/empty = auto-detect: some available backend, never a throw.
+  EXPECT_NE(kernels::find(kernels::resolve_backend(nullptr).name), nullptr);
+  EXPECT_NE(kernels::find(kernels::resolve_backend("").name), nullptr);
+  // A typoed H3DFACT_KERNEL_BACKEND must fail loudly, not fall back.
+  EXPECT_THROW((void)kernels::resolve_backend("avx512"), std::runtime_error);
+}
+
+TEST(KernelDispatch, ForceBackendOverridesActive) {
+  BackendGuard guard;
+  EXPECT_FALSE(kernels::force_backend("definitely-not-a-backend"));
+  ASSERT_TRUE(kernels::force_backend("scalar"));
+  EXPECT_STREQ(kernels::active().name, "scalar");
+  kernels::reset_backend();
+  EXPECT_NE(kernels::find(kernels::active().name), nullptr);
+}
+
+TEST(KernelParity, XorPopcountMatchesScalar) {
+  const KernelBackend* scalar = kernels::scalar_backend();
+  Rng rng(2024);
+  for (const KernelBackend* backend : kernels::available()) {
+    for (std::size_t base : kWordCounts) {
+      // Randomize around each base width so the tails vary run to run.
+      for (int rep = 0; rep < 4; ++rep) {
+        const std::size_t nw = base + static_cast<std::size_t>(rng.range(0, 3));
+        const auto a = random_words(nw, rng);
+        const auto b = random_words(nw, rng);
+        EXPECT_EQ(backend->xor_popcount(a.data(), b.data(), nw),
+                  scalar->xor_popcount(a.data(), b.data(), nw))
+            << backend->name << " nw=" << nw;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, AxpyRowMatchesScalar) {
+  const KernelBackend* scalar = kernels::scalar_backend();
+  Rng rng(2025);
+  for (const KernelBackend* backend : kernels::available()) {
+    for (std::size_t base : kElemCounts) {
+      const std::size_t n = base + static_cast<std::size_t>(rng.range(0, 5));
+      const auto row = random_row(n, rng);
+      std::vector<int> y0(n);
+      for (auto& v : y0) v = static_cast<int>(rng.range(-1000, 1000));
+      for (int a : {-7, -1, 0, 1, 3, 15}) {
+        std::vector<int> got = y0;
+        std::vector<int> want = y0;
+        backend->axpy_row(a, row.data(), got.data(), n);
+        scalar->axpy_row(a, row.data(), want.data(), n);
+        EXPECT_EQ(got, want) << backend->name << " n=" << n << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, SimilarityTileMatchesScalar) {
+  const KernelBackend* scalar = kernels::scalar_backend();
+  Rng rng(2026);
+  for (const KernelBackend* backend : kernels::available()) {
+    for (std::size_t nw : {1u, 3u, 4u, 9u, 16u}) {
+      const std::size_t nrows = 5;
+      const std::size_t nq = 3;
+      const long long dim = static_cast<long long>(nw) * 64;
+      const auto rows = random_words(nrows * nw, rng);
+      std::vector<std::vector<std::uint64_t>> qstore;
+      std::vector<const std::uint64_t*> queries;
+      for (std::size_t q = 0; q < nq; ++q) {
+        qstore.push_back(random_words(nw, rng));
+        queries.push_back(qstore.back().data());
+      }
+      std::vector<int> got(nrows * nq, -1);
+      std::vector<int> want(nrows * nq, -1);
+      backend->similarity_tile(rows.data(), nw, nrows, queries.data(), nq, nw,
+                               dim, got.data(), nq);
+      scalar->similarity_tile(rows.data(), nw, nrows, queries.data(), nq, nw,
+                              dim, want.data(), nq);
+      EXPECT_EQ(got, want) << backend->name << " nw=" << nw;
+    }
+  }
+}
+
+TEST(KernelParity, ProjectTileMatchesScalar) {
+  const KernelBackend* scalar = kernels::scalar_backend();
+  Rng rng(2027);
+  for (const KernelBackend* backend : kernels::available()) {
+    for (std::size_t dim : {1u, 7u, 8u, 17u, 100u}) {
+      const std::size_t batch = 4;
+      const auto row = random_row(dim, rng);
+      std::vector<int> coeffs(batch);
+      for (auto& c : coeffs) c = static_cast<int>(rng.range(-7, 7));
+      coeffs[1] = 0;  // the skip-zero path must stay a no-op
+      std::vector<int> scratch0(batch * dim);
+      for (auto& v : scratch0) v = static_cast<int>(rng.range(-50, 50));
+      std::vector<int> got = scratch0;
+      std::vector<int> want = scratch0;
+      backend->project_tile(row.data(), dim, coeffs.data(), batch, got.data());
+      scalar->project_tile(row.data(), dim, coeffs.data(), batch, want.data());
+      EXPECT_EQ(got, want) << backend->name << " dim=" << dim;
+    }
+  }
+}
+
+// The codebook entry points — per-call and batched — must produce identical
+// integer results whichever backend serves them, including at dims that are
+// not multiples of any vector width.
+TEST(KernelParity, CodebookPathsAreBackendInvariant) {
+  Rng rng(2028);
+  for (std::size_t dim : {64u, 100u, 1027u}) {
+    Codebook cb(dim, 12, rng);
+    std::vector<BipolarVector> us;
+    for (int i = 0; i < 5; ++i) us.push_back(BipolarVector::random(dim, rng));
+    std::vector<std::vector<int>> items(us.size(), std::vector<int>(cb.size()));
+    for (auto& item : items) {
+      for (auto& c : item) c = static_cast<int>(rng.range(-7, 7));
+    }
+    const CoeffBlock coeffs = CoeffBlock::from_items(items);
+
+    const KernelBackend* scalar = kernels::scalar_backend();
+    const auto sim_want = cb.similarity(us[0], *scalar);
+    const auto proj_want = cb.project(items[0], *scalar);
+    const auto simb_want = cb.similarity_batch(us, *scalar);
+    const auto projb_want = cb.project_batch(coeffs, *scalar);
+    for (const KernelBackend* backend : kernels::available()) {
+      EXPECT_EQ(cb.similarity(us[0], *backend), sim_want) << backend->name;
+      EXPECT_EQ(cb.project(items[0], *backend), proj_want) << backend->name;
+      EXPECT_EQ(cb.similarity_batch(us, *backend).data, simb_want.data)
+          << backend->name;
+      EXPECT_EQ(cb.project_batch(coeffs, *backend).data, projb_want.data)
+          << backend->name;
+      // Batched must equal per-call on the same backend, item by item.
+      const CoeffBlock simb = cb.similarity_batch(us, *backend);
+      for (std::size_t b = 0; b < us.size(); ++b) {
+        EXPECT_EQ(simb.item(b), cb.similarity(us[b], *backend))
+            << backend->name << " item " << b;
+      }
+    }
+  }
+}
+
+// A full factorization must decode identically under every backend: the
+// engine-pinning constructor is the seam the arm64 CI job drives with
+// H3DFACT_KERNEL_BACKEND over the whole suite.
+TEST(KernelParity, PinnedEngineFactorizesIdentically) {
+  Rng rng(2029);
+  auto set = std::make_shared<CodebookSet>(256, 3, 8, rng);
+  h3dfact::resonator::ProblemGenerator gen(set);
+  auto problem = gen.sample(rng);
+  h3dfact::resonator::ResonatorOptions opts;
+  opts.max_iterations = 50;
+
+  const KernelBackend* scalar = kernels::scalar_backend();
+  h3dfact::resonator::ResonatorNetwork ref(
+      set, std::make_shared<h3dfact::resonator::ExactMvmEngine>(set, *scalar),
+      opts);
+  Rng ref_rng(7);
+  const auto want = ref.run(problem, ref_rng);
+
+  for (const KernelBackend* backend : kernels::available()) {
+    h3dfact::resonator::ResonatorNetwork net(
+        set,
+        std::make_shared<h3dfact::resonator::ExactMvmEngine>(set, *backend),
+        opts);
+    Rng net_rng(7);
+    const auto got = net.run(problem, net_rng);
+    EXPECT_EQ(got.solved, want.solved) << backend->name;
+    EXPECT_EQ(got.iterations, want.iterations) << backend->name;
+    EXPECT_EQ(got.decoded, want.decoded) << backend->name;
+  }
+}
+
+}  // namespace
