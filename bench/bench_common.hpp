@@ -22,6 +22,9 @@
 //   --workers=h:p,h:p     dial out to workers running `--listen`
 //   --worker-cmd="CMD"    spawn stdio workers (";;"-separated commands,
 //                         e.g. "ssh host sweep_worker --stdio")
+//   --block-deadline-ms=N drop a remote worker that holds one trial block
+//                         longer than N ms and requeue the block (0 = wait
+//                         forever; forked local shards are exempt)
 
 #include <algorithm>
 #include <cstdint>
@@ -160,6 +163,7 @@ inline sweep::SweepOptions sweep_options_from_cli(
   sweep::SweepOptions opt;
   opt.shards = static_cast<unsigned>(cli.i64("shards", 1));
   opt.threads_per_cell = static_cast<unsigned>(cli.i64("cell-threads", 0));
+  opt.block_deadline_ms = static_cast<int>(cli.i64("block-deadline-ms", 0));
   opt.progress = [label = std::move(label)](const sweep::CellResult& r,
                                             std::size_t done,
                                             std::size_t total) {

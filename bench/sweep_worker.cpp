@@ -15,6 +15,9 @@
 //   --stdio               speak the framed protocol on stdin/stdout; this
 //                         is the ssh transport ("ssh host sweep_worker
 //                         --stdio" spawned by bench --worker-cmd=...)
+//   --serve=host:port     dial a factorization serving daemon
+//                         (bench/serve_daemon) and solve request batches
+//                         instead of sweep trial blocks (docs/serving.md)
 //
 // Common flags:
 //   --cell-threads=N      override the coordinator-requested per-cell
@@ -30,6 +33,7 @@
 #include <unistd.h>
 
 #include "grids/grids.hpp"
+#include "serve/serving.hpp"
 #include "sweep/transport.hpp"
 #include "util/cli.hpp"
 
@@ -50,19 +54,28 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(cli.i64("cell-threads", 0));
   const std::string connect = cli.str("connect", "");
   const std::string listen = cli.str("listen", "");
+  const std::string serve = cli.str("serve", "");
   const bool stdio = cli.flag("stdio");
 
   const int modes = (connect.empty() ? 0 : 1) + (listen.empty() ? 0 : 1) +
-                    (stdio ? 1 : 0);
+                    (serve.empty() ? 0 : 1) + (stdio ? 1 : 0);
   if (modes != 1) {
     std::fprintf(stderr,
                  "usage: sweep_worker (--connect=host:port | "
-                 "--listen=[host:]port | --stdio) [--cell-threads=N] "
-                 "[--retries=N] [--retry-ms=M] [--list]\n");
+                 "--listen=[host:]port | --stdio | --serve=host:port) "
+                 "[--cell-threads=N] [--retries=N] [--retry-ms=M] [--list]\n");
     return 64;
   }
 
   try {
+    if (!serve.empty()) {
+      const int retries = static_cast<int>(cli.i64("retries", 120));
+      const int retry_ms = static_cast<int>(cli.i64("retry-ms", 250));
+      const int fd = sweep::tcp_connect(serve, retries, retry_ms);
+      std::fprintf(stderr, "[sweep_worker] serving batches from %s\n",
+                   serve.c_str());
+      return serve::serve_factor_worker(fd, fd);
+    }
     if (stdio) {
       return sweep::serve_remote_worker(STDIN_FILENO, STDOUT_FILENO,
                                         cell_threads);

@@ -1,0 +1,166 @@
+#pragma once
+// Factorization-as-a-service on the sweep transport stack.
+//
+// The sweep subsystem runs fixed offline grids; this layer turns the same
+// two halves — the framed TCP transport (sweep/transport.hpp) and the
+// lockstep BatchedFactorizer (resonator/batched.hpp) — into a long-lived
+// request/reply daemon, so serving throughput and tail latency become
+// measured numbers the way ns/op already is:
+//
+//   ServeClient ──FactorRequest──▶ ServeCoordinator ──BatchTask──▶ worker
+//   ServeClient ◀──FactorReply──── (admission + batching)  ◀─BatchResult─
+//
+// The coordinator accepts any number of clients and serve workers on one
+// listening socket (the Hello frame's role field tells them apart; workers
+// may join late, mid-run). Requests pass admission control (queue bound,
+// drain state, per-request deadline), wait in a FIFO until `max_batch` have
+// collected or the oldest has waited `max_delay_us`, then dispatch as one
+// BatchTask to an idle worker, which solves them in lockstep through a
+// BatchedFactorizer and answers a BatchResult that is demultiplexed into
+// per-request replies. A worker that wedges past `worker_deadline_ms` is
+// dropped via the sweep scheduler's DeadlineTracker and its batch requeued
+// (3 attempts, then a kFailed reply). A Drain frame stops admission,
+// flushes everything in flight, acks the drainer and shuts the fleet down.
+//
+// Problem instances travel either seeded (the worker reproduces run_trials'
+// per-trial stream: Rng(trial_seed), sample, solve with the post-sampling
+// generator — replies are bit-identical to a sequential run_trials solve of
+// the same trial) or explicit (packed query words + solver seed). Every
+// worker rebuilds the codebooks deterministically from the ServeInit seed
+// and proves it with codebook_fingerprint() before receiving work.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hdc/codebook.hpp"
+#include "sweep/protocol.hpp"
+
+namespace h3dfact::serve {
+
+/// Order-independent digest of a codebook set (FNV-1a over dimensions and
+/// every codevector's packed words). A coordinator and worker that agree on
+/// the fingerprint solve over bit-identical codebooks.
+std::uint64_t codebook_fingerprint(const hdc::CodebookSet& set);
+
+/// The per-trial stream seed run_trial_block derives for trial `t` of a
+/// config seeded with `seed` — pass it as FactorRequestFrame::trial_seed to
+/// make a served solve bit-identical to that run_trials trial.
+inline std::uint64_t trial_stream_seed(std::uint64_t seed, std::uint64_t t) {
+  return seed ^ (0xabcdef12345ULL + t * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Daemon configuration: the problem space every worker materializes plus
+/// the admission/batching policy.
+struct ServeConfig {
+  /// "[host:]port" to listen on for clients and workers ("0" = ephemeral).
+  std::string listen = "127.0.0.1:0";
+
+  // Problem space (ServeInit payload).
+  std::size_t dim = 1024;            ///< hypervector dimension D
+  std::size_t factors = 3;           ///< factor count F
+  std::size_t codebook_size = 16;    ///< codebook size M
+  std::size_t max_iterations = 100;  ///< per-request iteration cap
+  std::uint64_t seed = 1;            ///< codebook generation seed
+
+  // Batching and admission.
+  std::size_t max_batch = 8;      ///< dispatch when this many are queued
+  std::int64_t max_delay_us = 2000;  ///< ...or when the oldest waited this
+  std::size_t max_queue = 1024;   ///< admission bound; beyond it -> kRejected
+
+  /// Batch answer deadline per worker (the sweep DeadlineTracker machinery):
+  /// a worker holding a batch longer is dropped and the batch requeued.
+  /// 0 disables.
+  int worker_deadline_ms = 10000;
+};
+
+/// Counters the coordinator returns when its run ends.
+struct ServeStats {
+  std::uint64_t accepted = 0;         ///< requests admitted to the queue
+  std::uint64_t completed = 0;        ///< kOk replies sent
+  std::uint64_t rejected = 0;         ///< kRejected replies (admission)
+  std::uint64_t failed = 0;           ///< kFailed replies (worker loss x3)
+  std::uint64_t batches = 0;          ///< BatchTasks dispatched
+  std::uint64_t requeues = 0;         ///< requests requeued after worker loss
+  std::uint64_t workers_seen = 0;     ///< serve workers that handshook
+  std::uint64_t workers_dropped = 0;  ///< workers dropped (EOF or deadline)
+  std::uint64_t clients_seen = 0;     ///< clients that handshook
+};
+
+/// The serving daemon: one poll loop multiplexing the listening socket,
+/// every client and every worker. Construction binds the listen socket and
+/// computes the codebook fingerprint; run() serves until a Drain completes
+/// or request_stop() is called (thread-safe, e.g. from a signal handler).
+class ServeCoordinator {
+ public:
+  explicit ServeCoordinator(ServeConfig config);
+  ~ServeCoordinator();
+  ServeCoordinator(const ServeCoordinator&) = delete;
+  ServeCoordinator& operator=(const ServeCoordinator&) = delete;
+
+  [[nodiscard]] const ServeConfig& config() const;
+  /// The bound listen port (resolves "0" to the kernel-assigned port).
+  [[nodiscard]] std::uint16_t listen_port() const;
+  /// The digest every worker must echo in ServeReady.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Serve until drained or stopped. Returns the final counters. Throws
+  /// std::runtime_error only for coordinator-fatal conditions (listen
+  /// socket lost); individual peer failures are absorbed.
+  ServeStats run();
+
+  /// Ask a running run() to stop at its next loop turn (thread-safe).
+  void request_stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Serve-worker loop (`sweep_worker --serve`): handshake as kServeWorker,
+/// rebuild the codebooks from ServeInit, echo their fingerprint, then solve
+/// BatchTask frames through a BatchedFactorizer until Shutdown/Drain/EOF.
+/// Returns the process exit code (0 success, nonzero protocol error).
+int serve_factor_worker(int in_fd, int out_fd);
+
+/// Client connection to a ServeCoordinator. Construction dials, handshakes
+/// as kServeClient and verifies the HelloAck; requests and replies then
+/// flow asynchronously (send several, await replies in arrival order).
+class ServeClient {
+ public:
+  /// Dial "host:port" (dial retries as in tcp_connect).
+  explicit ServeClient(const std::string& addr, int retries = 40,
+                       int retry_ms = 250);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Submit one request; false once the coordinator is gone.
+  bool send(const sweep::FactorRequestFrame& req);
+
+  /// Next reply, in arrival order: nullopt on disconnect, throws
+  /// std::runtime_error on timeout or a coordinator Error frame.
+  std::optional<sweep::FactorReplyFrame> await_reply(int timeout_ms);
+
+  /// Non-throwing variant for open-loop senders: nullopt when `timeout_ms`
+  /// elapses with no reply OR on disconnect (`*disconnected` tells the two
+  /// apart). Still throws on a coordinator Error frame.
+  std::optional<sweep::FactorReplyFrame> poll_reply(
+      int timeout_ms, bool* disconnected = nullptr);
+
+  /// send() + await_reply() for the single-outstanding-request case.
+  sweep::FactorReplyFrame call(const sweep::FactorRequestFrame& req,
+                               int timeout_ms);
+
+  /// Send Drain and wait for the ack, buffering (and discarding) any
+  /// still-outstanding replies that land first. False on disconnect before
+  /// the ack; throws std::runtime_error on timeout.
+  bool drain(int timeout_ms);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace h3dfact::serve

@@ -1,0 +1,232 @@
+#include "serve/serving.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "resonator/batched.hpp"
+#include "resonator/problem.hpp"
+#include "sweep/transport.hpp"
+#include "util/rng.hpp"
+
+namespace h3dfact::serve {
+
+using sweep::Frame;
+using sweep::FrameKind;
+using sweep::WorkerChannel;
+
+#if !defined(_WIN32)
+
+namespace {
+
+constexpr int kHandshakeTimeoutMs = 60000;
+
+/// Everything a bound worker needs to solve batches: the deterministic
+/// rebuild of the coordinator's problem space plus a lockstep factorizer.
+struct BoundSpace {
+  std::shared_ptr<resonator::ProblemGenerator> generator;
+  std::unique_ptr<resonator::BatchedFactorizer> factorizer;
+  std::size_t dim = 0;
+
+  explicit BoundSpace(const sweep::ServeInitFrame& init) {
+    if (init.dim == 0 || init.factors == 0 || init.codebook_size == 0 ||
+        init.max_iterations == 0) {
+      throw std::runtime_error("ServeInit with zero-sized problem space");
+    }
+    // Exactly run_trial_block's derivation: master rng seeds the codebooks,
+    // so every worker (and the coordinator's fingerprint copy) agree.
+    util::Rng master(init.seed);
+    generator = std::make_shared<resonator::ProblemGenerator>(
+        static_cast<std::size_t>(init.dim),
+        static_cast<std::size_t>(init.factors),
+        static_cast<std::size_t>(init.codebook_size), master);
+    resonator::ResonatorOptions opts;  // baseline defaults, as run_trials
+    opts.max_iterations = static_cast<std::size_t>(init.max_iterations);
+    factorizer = std::make_unique<resonator::BatchedFactorizer>(
+        generator->codebooks_ptr(), opts);
+    dim = static_cast<std::size_t>(init.dim);
+  }
+};
+
+sweep::BatchResultFrame solve_batch(const BoundSpace& space,
+                                    const sweep::BatchTaskFrame& task) {
+  const std::size_t n = task.requests.size();
+  sweep::BatchResultFrame out;
+  out.batch_id = task.batch_id;
+  out.replies.resize(n);
+
+  // Build the problem/rng pair per request; a request that fails validation
+  // gets a kFailed reply and a placeholder problem that is skipped on the
+  // way out (the batch still solves for everyone else).
+  std::vector<resonator::FactorizationProblem> problems;
+  std::vector<util::Rng> rngs;
+  std::vector<std::size_t> solve_slot(n, static_cast<std::size_t>(-1));
+  problems.reserve(n);
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sweep::FactorRequestFrame& req = task.requests[i];
+    sweep::FactorReplyFrame& reply = out.replies[i];
+    reply.id = req.id;
+    try {
+      if (req.encoding == sweep::QueryEncoding::kSeeded) {
+        util::Rng r(req.trial_seed);
+        problems.push_back(req.flip_prob > 0.0
+                               ? space.generator->sample_noisy(req.flip_prob, r)
+                               : space.generator->sample(r));
+        rngs.push_back(r);  // post-sampling state, as run_trial_block
+        reply.correct_known = 1;
+      } else {
+        const std::size_t want = (space.dim + 63) / 64;
+        if (req.query_words.size() != want) {
+          throw std::runtime_error("explicit query has " +
+                                   std::to_string(req.query_words.size()) +
+                                   " words, expected " + std::to_string(want));
+        }
+        resonator::FactorizationProblem problem;
+        problem.codebooks = space.generator->codebooks_ptr();
+        hdc::BipolarVector query(space.dim);
+        for (std::size_t w = 0; w < want; ++w) {
+          query.data()[w] = req.query_words[w];
+        }
+        if (space.dim % 64 != 0) {  // a hostile tail bit must not skew dots
+          query.data()[want - 1] &= (1ull << (space.dim % 64)) - 1;
+        }
+        problem.query = std::move(query);
+        problems.push_back(std::move(problem));
+        rngs.emplace_back(req.solve_seed);
+        reply.correct_known = 0;
+      }
+      solve_slot[i] = problems.size() - 1;
+    } catch (const std::exception& e) {
+      reply.status = sweep::ReplyStatus::kFailed;
+      reply.error = e.what();
+    }
+  }
+
+  if (!problems.empty()) {
+    // Engine-level randomness stream; unused by the deterministic exact
+    // engine, so batched replies stay bit-identical to standalone solves.
+    util::Rng device_rng(task.batch_id);
+    const std::vector<resonator::ResonatorResult> results =
+        space.factorizer->run(problems, rngs, device_rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (solve_slot[i] == static_cast<std::size_t>(-1)) continue;
+      const resonator::ResonatorResult& r = results[solve_slot[i]];
+      sweep::FactorReplyFrame& reply = out.replies[i];
+      reply.status = sweep::ReplyStatus::kOk;
+      reply.solved = r.solved ? 1 : 0;
+      reply.iterations = r.iterations;
+      reply.decoded.assign(r.decoded.begin(), r.decoded.end());
+      if (reply.correct_known != 0) {
+        reply.correct =
+            problems[solve_slot[i]].is_correct(r.decoded) ? 1 : 0;
+      }
+      reply.batch = n;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int serve_factor_worker(int in_fd, int out_fd) {
+  WorkerChannel ch(WorkerChannel::Kind::kStdio, in_fd, out_fd, -1,
+                   "serve-coordinator");
+  sweep::HelloFrame hello;
+  hello.role = static_cast<std::uint32_t>(sweep::PeerRole::kServeWorker);
+  if (!ch.send(FrameKind::kHello, sweep::encode_hello(hello))) return 2;
+
+  std::optional<Frame> ack;
+  try {
+    ack = ch.await_frame(kHandshakeTimeoutMs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[serve_worker] handshake failed: %s\n", e.what());
+    return 2;
+  }
+  if (!ack) return 2;
+  if (ack->kind == FrameKind::kError) {
+    std::fprintf(stderr, "[serve_worker] rejected by coordinator: %s\n",
+                 ack->payload.c_str());
+    return 2;
+  }
+  if (ack->kind != FrameKind::kHelloAck) {
+    std::fprintf(stderr, "[serve_worker] expected HelloAck, got frame %d\n",
+                 static_cast<int>(ack->kind));
+    return 2;
+  }
+
+  std::optional<BoundSpace> space;
+  for (;;) {
+    std::optional<Frame> frame;
+    try {
+      frame = ch.await_frame(-1);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[serve_worker] protocol error: %s\n", e.what());
+      return 2;
+    }
+    if (!frame || frame->kind == FrameKind::kShutdown ||
+        frame->kind == FrameKind::kDrain) {
+      return 0;
+    }
+    switch (frame->kind) {
+      case FrameKind::kServeInit: {
+        try {
+          const sweep::ServeInitFrame init =
+              sweep::decode_serve_init(frame->payload);
+          space.emplace(init);
+          sweep::ServeReadyFrame ready;
+          ready.fingerprint =
+              codebook_fingerprint(space->generator->codebooks());
+          std::fprintf(
+              stderr,
+              "[serve_worker] bound problem space D=%llu F=%llu M=%llu\n",
+              static_cast<unsigned long long>(init.dim),
+              static_cast<unsigned long long>(init.factors),
+              static_cast<unsigned long long>(init.codebook_size));
+          if (!ch.send(FrameKind::kServeReady,
+                       sweep::encode_serve_ready(ready))) {
+            return 0;
+          }
+        } catch (const std::exception& e) {
+          space.reset();
+          if (!ch.send(FrameKind::kError, e.what())) return 0;
+        }
+        break;
+      }
+      case FrameKind::kBatchTask: {
+        try {
+          const sweep::BatchTaskFrame task =
+              sweep::decode_batch_task(frame->payload);
+          if (!space) {
+            throw std::runtime_error("batch received before ServeInit");
+          }
+          const sweep::BatchResultFrame result = solve_batch(*space, task);
+          if (!ch.send(FrameKind::kBatchResult,
+                       sweep::encode_batch_result(result))) {
+            return 0;
+          }
+        } catch (const std::exception& e) {
+          ch.send(FrameKind::kError, e.what());
+          return 1;
+        }
+        break;
+      }
+      default:
+        break;  // handshake replays are harmless
+    }
+  }
+}
+
+#else  // _WIN32
+
+int serve_factor_worker(int, int) {
+  std::fprintf(stderr, "factorization serving requires POSIX\n");
+  return 2;
+}
+
+#endif
+
+}  // namespace h3dfact::serve

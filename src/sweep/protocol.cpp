@@ -36,6 +36,11 @@ void WireReader::need(std::size_t n) const {
   }
 }
 
+std::uint8_t WireReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data[pos++]);
+}
+
 std::uint64_t WireReader::u64() {
   need(8);
   std::uint64_t v = 0;
@@ -84,12 +89,17 @@ namespace {
 
 bool valid_kind(std::uint8_t kind) {
   return kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<std::uint8_t>(FrameKind::kShutdown);
+         kind <= static_cast<std::uint8_t>(FrameKind::kBatchResult);
 }
 
 }  // namespace
 
 std::string encode_frame(FrameKind kind, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("sweep frame payload " +
+                            std::to_string(payload.size()) +
+                            " exceeds kMaxFramePayload");
+  }
   std::string out;
   out.reserve(9 + payload.size());
   out.push_back(static_cast<char>(kind));
@@ -129,6 +139,7 @@ std::string encode_hello(const HelloFrame& hello) {
   std::string out;
   put_u32(out, hello.magic);
   put_u32(out, hello.version);
+  put_u32(out, hello.role);
   return out;
 }
 
@@ -137,6 +148,7 @@ HelloFrame decode_hello(std::string_view payload) {
   HelloFrame hello;
   hello.magic = in.u32();
   hello.version = in.u32();
+  hello.role = in.u32();
   if (!in.exhausted()) {
     throw std::runtime_error("malformed sweep hello: trailing bytes");
   }
@@ -211,6 +223,212 @@ TaskFrame decode_task(std::string_view payload) {
     throw std::runtime_error("malformed sweep task: trailing bytes");
   }
   return task;
+}
+
+// --- serving payloads -------------------------------------------------------
+
+std::string encode_serve_init(const ServeInitFrame& init) {
+  std::string out;
+  put_u64(out, init.dim);
+  put_u64(out, init.factors);
+  put_u64(out, init.codebook_size);
+  put_u64(out, init.max_iterations);
+  put_u64(out, init.seed);
+  return out;
+}
+
+ServeInitFrame decode_serve_init(std::string_view payload) {
+  WireReader in{payload};
+  ServeInitFrame init;
+  init.dim = in.u64();
+  init.factors = in.u64();
+  init.codebook_size = in.u64();
+  init.max_iterations = in.u64();
+  init.seed = in.u64();
+  if (!in.exhausted()) {
+    throw std::runtime_error("malformed serve-init: trailing bytes");
+  }
+  return init;
+}
+
+std::string encode_serve_ready(const ServeReadyFrame& ready) {
+  std::string out;
+  put_u64(out, ready.fingerprint);
+  return out;
+}
+
+ServeReadyFrame decode_serve_ready(std::string_view payload) {
+  WireReader in{payload};
+  ServeReadyFrame ready;
+  ready.fingerprint = in.u64();
+  if (!in.exhausted()) {
+    throw std::runtime_error("malformed serve-ready: trailing bytes");
+  }
+  return ready;
+}
+
+namespace {
+
+void append_factor_request(std::string& out, const FactorRequestFrame& req) {
+  put_u64(out, req.id);
+  put_u64(out, req.deadline_us);
+  out.push_back(static_cast<char>(req.encoding));
+  put_u64(out, req.trial_seed);
+  put_f64(out, req.flip_prob);
+  put_u64(out, req.solve_seed);
+  put_u64(out, req.query_words.size());
+  for (std::uint64_t w : req.query_words) put_u64(out, w);
+}
+
+FactorRequestFrame read_factor_request(WireReader& in) {
+  FactorRequestFrame req;
+  req.id = in.u64();
+  req.deadline_us = in.u64();
+  const std::uint8_t enc = in.u8();
+  if (enc > static_cast<std::uint8_t>(QueryEncoding::kExplicit)) {
+    throw std::runtime_error("malformed factor request: unknown encoding " +
+                             std::to_string(enc));
+  }
+  req.encoding = static_cast<QueryEncoding>(enc);
+  req.trial_seed = in.u64();
+  req.flip_prob = in.f64();
+  req.solve_seed = in.u64();
+  const std::uint64_t nwords = in.u64();
+  if (nwords > kMaxFramePayload / 8) {
+    throw std::runtime_error("malformed factor request: query word count");
+  }
+  req.query_words.reserve(static_cast<std::size_t>(nwords));
+  for (std::uint64_t i = 0; i < nwords; ++i) req.query_words.push_back(in.u64());
+  return req;
+}
+
+void append_factor_reply(std::string& out, const FactorReplyFrame& reply) {
+  put_u64(out, reply.id);
+  out.push_back(static_cast<char>(reply.status));
+  put_str(out, reply.error);
+  out.push_back(static_cast<char>(reply.solved));
+  out.push_back(static_cast<char>(reply.correct_known));
+  out.push_back(static_cast<char>(reply.correct));
+  put_u64(out, reply.decoded.size());
+  for (std::uint64_t d : reply.decoded) put_u64(out, d);
+  put_u64(out, reply.iterations);
+  put_u64(out, reply.queue_us);
+  put_u64(out, reply.solve_us);
+  put_u64(out, reply.batch);
+}
+
+FactorReplyFrame read_factor_reply(WireReader& in) {
+  FactorReplyFrame reply;
+  reply.id = in.u64();
+  const std::uint8_t status = in.u8();
+  if (status > static_cast<std::uint8_t>(ReplyStatus::kFailed)) {
+    throw std::runtime_error("malformed factor reply: unknown status " +
+                             std::to_string(status));
+  }
+  reply.status = static_cast<ReplyStatus>(status);
+  reply.error = in.str();
+  reply.solved = in.u8();
+  reply.correct_known = in.u8();
+  reply.correct = in.u8();
+  const std::uint64_t nfactors = in.u64();
+  if (nfactors > kMaxFramePayload / 8) {
+    throw std::runtime_error("malformed factor reply: decoded count");
+  }
+  reply.decoded.reserve(static_cast<std::size_t>(nfactors));
+  for (std::uint64_t i = 0; i < nfactors; ++i) reply.decoded.push_back(in.u64());
+  reply.iterations = in.u64();
+  reply.queue_us = in.u64();
+  reply.solve_us = in.u64();
+  reply.batch = in.u64();
+  return reply;
+}
+
+}  // namespace
+
+std::string encode_factor_request(const FactorRequestFrame& req) {
+  std::string out;
+  append_factor_request(out, req);
+  return out;
+}
+
+FactorRequestFrame decode_factor_request(std::string_view payload) {
+  WireReader in{payload};
+  FactorRequestFrame req = read_factor_request(in);
+  if (!in.exhausted()) {
+    throw std::runtime_error("malformed factor request: trailing bytes");
+  }
+  return req;
+}
+
+std::string encode_factor_reply(const FactorReplyFrame& reply) {
+  std::string out;
+  append_factor_reply(out, reply);
+  return out;
+}
+
+FactorReplyFrame decode_factor_reply(std::string_view payload) {
+  WireReader in{payload};
+  FactorReplyFrame reply = read_factor_reply(in);
+  if (!in.exhausted()) {
+    throw std::runtime_error("malformed factor reply: trailing bytes");
+  }
+  return reply;
+}
+
+std::string encode_batch_task(const BatchTaskFrame& task) {
+  std::string out;
+  put_u64(out, task.batch_id);
+  put_u64(out, task.requests.size());
+  for (const FactorRequestFrame& req : task.requests) {
+    append_factor_request(out, req);
+  }
+  return out;
+}
+
+BatchTaskFrame decode_batch_task(std::string_view payload) {
+  WireReader in{payload};
+  BatchTaskFrame task;
+  task.batch_id = in.u64();
+  const std::uint64_t n = in.u64();
+  if (n > kMaxFramePayload) {
+    throw std::runtime_error("malformed batch task: request count");
+  }
+  task.requests.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    task.requests.push_back(read_factor_request(in));
+  }
+  if (!in.exhausted()) {
+    throw std::runtime_error("malformed batch task: trailing bytes");
+  }
+  return task;
+}
+
+std::string encode_batch_result(const BatchResultFrame& result) {
+  std::string out;
+  put_u64(out, result.batch_id);
+  put_u64(out, result.replies.size());
+  for (const FactorReplyFrame& reply : result.replies) {
+    append_factor_reply(out, reply);
+  }
+  return out;
+}
+
+BatchResultFrame decode_batch_result(std::string_view payload) {
+  WireReader in{payload};
+  BatchResultFrame result;
+  result.batch_id = in.u64();
+  const std::uint64_t n = in.u64();
+  if (n > kMaxFramePayload) {
+    throw std::runtime_error("malformed batch result: reply count");
+  }
+  result.replies.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    result.replies.push_back(read_factor_reply(in));
+  }
+  if (!in.exhausted()) {
+    throw std::runtime_error("malformed batch result: trailing bytes");
+  }
+  return result;
 }
 
 // --- result payload ---------------------------------------------------------

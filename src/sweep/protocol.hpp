@@ -22,6 +22,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "sweep/registry.hpp"
 #include "sweep/runner.hpp"
@@ -34,10 +35,13 @@ inline constexpr std::uint32_t kProtocolMagic = 0x48335357u;
 
 /// Wire-format version. Bumped whenever any frame layout changes; the
 /// Hello/HelloAck handshake rejects a peer with a different version.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: Hello carries a peer role; request/reply serving frames (9-15).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
-/// Upper bound on a frame payload (1 GiB). A length field beyond this is
-/// treated as a malformed stream, not an allocation request.
+/// Upper bound on a frame payload (1 GiB). Enforced symmetrically: a length
+/// field beyond this is treated as a malformed stream on decode, and
+/// encode_frame refuses to produce such a frame in the first place, so no
+/// peer can emit a frame the other side must reject.
 inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
 
 /// Frame discriminator (the leading byte of every frame).
@@ -50,6 +54,24 @@ enum class FrameKind : std::uint8_t {
   kResult = 6,    ///< worker -> coordinator: completed block statistics
   kError = 7,     ///< either direction: fatal failure, human-readable reason
   kShutdown = 8,  ///< coordinator -> worker: no more sweeps, exit cleanly
+  // Serving frames (src/serve): request/reply factorization on the same
+  // transports. Client-facing first, then coordinator <-> serve worker.
+  kFactorRequest = 9,  ///< client -> coordinator: one factorization request
+  kFactorReply = 10,   ///< coordinator -> client: per-request outcome
+  kDrain = 11,         ///< client -> coordinator: stop admitting, finish,
+                       ///< ack with an empty kDrain once idle
+  kServeInit = 12,     ///< coordinator -> serve worker: problem-space config
+  kServeReady = 13,    ///< serve worker -> coordinator: codebook fingerprint
+  kBatchTask = 14,     ///< coordinator -> serve worker: batch of requests
+  kBatchResult = 15,   ///< serve worker -> coordinator: batch of replies
+};
+
+/// What a connecting peer is, declared in its Hello frame so one listening
+/// socket can host sweep workers, serve workers and serve clients.
+enum class PeerRole : std::uint32_t {
+  kSweepWorker = 0,  ///< executes sweep trial blocks (Task/Result)
+  kServeClient = 1,  ///< submits FactorRequests, receives FactorReplies
+  kServeWorker = 2,  ///< executes serve batches (BatchTask/BatchResult)
 };
 
 /// One decoded frame: the kind byte plus its raw payload.
@@ -83,6 +105,8 @@ struct WireReader {
 
   /// Throw unless `n` more bytes are available.
   void need(std::size_t n) const;
+  /// Read one byte.
+  std::uint8_t u8();
   /// Read one little-endian u64.
   std::uint64_t u64();
   /// Read one little-endian u32.
@@ -97,7 +121,9 @@ struct WireReader {
 
 // --- framing ----------------------------------------------------------------
 
-/// Serialize one frame: kind byte, u64 payload length, payload.
+/// Serialize one frame: kind byte, u64 payload length, payload. Throws
+/// std::length_error if the payload exceeds kMaxFramePayload — the same cap
+/// FrameParser enforces on decode.
 std::string encode_frame(FrameKind kind, std::string_view payload);
 
 /// Incremental frame decoder for a byte stream. Feed whatever the fd
@@ -120,11 +146,12 @@ class FrameParser {
 
 // --- payload codecs ---------------------------------------------------------
 
-/// Hello payload: protocol magic + version, sent by the worker as its very
-/// first frame on any remote transport.
+/// Hello payload: protocol magic + version + peer role, sent by the peer as
+/// its very first frame on any remote transport.
 struct HelloFrame {
   std::uint32_t magic = kProtocolMagic;
   std::uint32_t version = kProtocolVersion;
+  std::uint32_t role = static_cast<std::uint32_t>(PeerRole::kSweepWorker);
 };
 
 std::string encode_hello(const HelloFrame& hello);
@@ -170,6 +197,109 @@ TaskFrame decode_task(std::string_view payload);
 /// coordinator's merge is bit-identical to an unsharded run.
 std::string encode_result(std::size_t block_begin, const CellResult& result);
 std::pair<std::size_t, CellResult> decode_result(std::string_view payload);
+
+// --- serving payloads (src/serve) -------------------------------------------
+
+/// ServeInit payload: the problem space a serve worker must materialize —
+/// codebooks are rebuilt deterministically from `seed`, exactly like
+/// run_trials' `util::Rng master(seed); ProblemGenerator(dim, factors,
+/// codebook_size, master)`, so every worker owns a bit-identical copy.
+struct ServeInitFrame {
+  std::uint64_t dim = 0;
+  std::uint64_t factors = 0;
+  std::uint64_t codebook_size = 0;
+  std::uint64_t max_iterations = 0;
+  std::uint64_t seed = 0;
+};
+
+std::string encode_serve_init(const ServeInitFrame& init);
+ServeInitFrame decode_serve_init(std::string_view payload);
+
+/// ServeReady payload: the worker's digest of its rebuilt codebooks; must
+/// match the coordinator's or the worker is rejected (a worker with
+/// different codebooks would silently return wrong factorizations).
+struct ServeReadyFrame {
+  std::uint64_t fingerprint = 0;
+};
+
+std::string encode_serve_ready(const ServeReadyFrame& ready);
+ServeReadyFrame decode_serve_ready(std::string_view payload);
+
+/// How a FactorRequest carries its problem instance.
+enum class QueryEncoding : std::uint8_t {
+  kSeeded = 0,    ///< sample from the shared generator via trial_seed
+  kExplicit = 1,  ///< query transmitted verbatim as packed bipolar words
+};
+
+/// FactorRequest payload: one factorization to solve. `id` is client-chosen
+/// and echoed verbatim in the reply; `deadline_us` is the client's latency
+/// budget (0 = none) — the coordinator rejects requests it cannot start
+/// before expiry. Seeded requests reproduce run_trials' per-trial stream:
+/// `Rng r(trial_seed)`, sample (optionally noisy), then solve with the same
+/// post-sampling generator. Explicit requests ship the packed query words
+/// and a separate solver seed.
+struct FactorRequestFrame {
+  std::uint64_t id = 0;
+  std::uint64_t deadline_us = 0;
+  QueryEncoding encoding = QueryEncoding::kSeeded;
+  std::uint64_t trial_seed = 0;                ///< seeded form
+  double flip_prob = 0.0;                      ///< seeded form: query noise
+  std::uint64_t solve_seed = 0;                ///< explicit form
+  std::vector<std::uint64_t> query_words;      ///< explicit form: packed bits
+};
+
+std::string encode_factor_request(const FactorRequestFrame& req);
+FactorRequestFrame decode_factor_request(std::string_view payload);
+
+/// Outcome class of a FactorReply.
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,        ///< solved (or capped) by a worker; result fields valid
+  kRejected = 1,  ///< admission control refused it (queue full / draining /
+                  ///< deadline unmeetable); never reached a worker
+  kFailed = 2,    ///< accepted but unservable (repeated worker loss)
+};
+
+/// FactorReply payload: the per-request outcome, demultiplexed back to the
+/// submitting client. `correct_known` is 1 only for seeded requests (the
+/// worker sampled the ground truth itself); `batch` is the lockstep batch
+/// size the request was solved in, `queue_us`/`solve_us` the coordinator's
+/// admission-to-dispatch and dispatch-to-reply times.
+struct FactorReplyFrame {
+  std::uint64_t id = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  std::string error;
+  std::uint8_t solved = 0;
+  std::uint8_t correct_known = 0;
+  std::uint8_t correct = 0;
+  std::vector<std::uint64_t> decoded;  ///< argmax index per factor
+  std::uint64_t iterations = 0;
+  std::uint64_t queue_us = 0;
+  std::uint64_t solve_us = 0;
+  std::uint64_t batch = 0;
+};
+
+std::string encode_factor_reply(const FactorReplyFrame& reply);
+FactorReplyFrame decode_factor_reply(std::string_view payload);
+
+/// BatchTask payload: the requests a serve worker must solve in lockstep
+/// through its BatchedFactorizer. `batch_id` is echoed in the BatchResult
+/// and seeds the batch's device-randomness stream.
+struct BatchTaskFrame {
+  std::uint64_t batch_id = 0;
+  std::vector<FactorRequestFrame> requests;
+};
+
+std::string encode_batch_task(const BatchTaskFrame& task);
+BatchTaskFrame decode_batch_task(std::string_view payload);
+
+/// BatchResult payload: one reply per request of the batch, same order.
+struct BatchResultFrame {
+  std::uint64_t batch_id = 0;
+  std::vector<FactorReplyFrame> replies;
+};
+
+std::string encode_batch_result(const BatchResultFrame& result);
+BatchResultFrame decode_batch_result(std::string_view payload);
 
 /// Order- and schedule-independent digest of a resolved grid: hashes every
 /// cell's config echo, parameters, coordinates and metadata. Two processes

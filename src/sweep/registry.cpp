@@ -1,5 +1,6 @@
 #include "sweep/registry.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
@@ -70,14 +71,30 @@ std::int64_t param_i64(const GridParams& params, const std::string& key,
                        std::int64_t def) {
   auto it = params.find(key);
   if (it == params.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || errno == ERANGE || end != value.c_str() + value.size()) {
+    throw std::invalid_argument("grid param " + key + "=\"" + value +
+                                "\" is not a valid integer");
+  }
+  return parsed;
 }
 
 double param_f64(const GridParams& params, const std::string& key,
                  double def) {
   auto it = params.find(key);
   if (it == params.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || errno == ERANGE || end != value.c_str() + value.size()) {
+    throw std::invalid_argument("grid param " + key + "=\"" + value +
+                                "\" is not a valid number");
+  }
+  return parsed;
 }
 
 bool param_flag(const GridParams& params, const std::string& key, bool def) {

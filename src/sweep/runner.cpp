@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sweep/deadline.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/protocol.hpp"
 #include "sweep/transport.hpp"
@@ -365,13 +366,17 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
 // workers) from one dynamic queue. One task in flight per channel: the next
 // block is assigned the moment a result lands, so fast workers naturally
 // take more of the queue. Remote disconnects requeue; shard disconnects and
-// worker-reported errors abort.
+// worker-reported errors abort. A remote channel that holds a block past
+// `block_deadline_ms` without answering is treated as disconnected (see
+// DeadlineTracker); 0 disables the deadline.
 std::vector<CellResult> run_with_channels(
     const SweepSpec& spec, const std::vector<std::size_t>& cells,
-    const std::vector<WorkerChannel*>& channels, CompletionLog& log) {
+    const std::vector<WorkerChannel*>& channels, CompletionLog& log,
+    int block_deadline_ms) {
   const std::vector<Task> tasks = build_tasks(spec, cells, channels.size());
   CellAssembler assembler(spec, cells);
   const std::size_t goal = log.total();
+  DeadlineTracker deadlines(block_deadline_ms);
 
   std::deque<std::size_t> requeued;  // lost blocks run before fresh ones
   std::size_t next = 0;
@@ -412,6 +417,7 @@ std::vector<CellResult> run_with_channels(
     const std::vector<std::size_t> lost = ch.inflight;
     ch.inflight.clear();
     ch.task_open = false;
+    deadlines.disarm(&ch);
     ch.close_all();
     if (!ch.requeue_on_disconnect()) {
       if (!lost.empty() || failure.empty()) {
@@ -477,6 +483,9 @@ std::vector<CellResult> run_with_channels(
     if (ch.send(FrameKind::kTask, encode_task(frame))) {
       ch.inflight.push_back(*t);
       ++attempts[*t];
+      // The deadline clock runs only on channels whose loss the scheduler
+      // survives; a wedged forked shard is a bug the hang would expose.
+      if (ch.requeue_on_disconnect()) deadlines.arm(&ch);
     } else {
       requeued.push_front(*t);
       handle_disconnect(ch, "task send failed");
@@ -501,6 +510,7 @@ std::vector<CellResult> run_with_channels(
           break;
         }
         ch.inflight.erase(it);
+        if (ch.inflight.empty()) deadlines.disarm(&ch);
         if (auto done = assembler.add(block_begin, std::move(partial))) {
           log.complete(std::move(*done));
         }
@@ -531,10 +541,27 @@ std::vector<CellResult> run_with_channels(
       fail("all sweep workers disconnected with work outstanding");
       break;
     }
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    const int rc = ::poll(fds.data(), fds.size(), deadlines.poll_timeout_ms());
+    if (rc < 0) {
       if (errno == EINTR) continue;
       fail("poll on sweep worker channels failed");
       break;
+    }
+    if (rc == 0) {
+      // Deadline wake-up: every expired peer still holding a block is
+      // dropped like a disconnect, requeueing its block onto survivors.
+      for (const void* peer : deadlines.expired()) {
+        auto* ch = static_cast<WorkerChannel*>(
+            const_cast<void*>(peer));
+        deadlines.disarm(ch);
+        if (ch->read_fd() >= 0 && !ch->inflight.empty()) {
+          handle_disconnect(*ch, "block deadline of " +
+                                     std::to_string(block_deadline_ms) +
+                                     " ms expired");
+        }
+        if (!failure.empty()) break;
+      }
+      continue;
     }
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
@@ -726,7 +753,8 @@ std::vector<CellResult> SweepRunner::run() const {
       unbinder.local = pipe.get();
     }
     if (!channels.empty()) {
-      return run_with_channels(spec_, selected, channels, log);
+      return run_with_channels(spec_, selected, channels, log,
+                               options_.block_deadline_ms);
     }
     // fork unavailable (resource limits, sandbox): same queue on threads.
   }

@@ -101,6 +101,16 @@ struct SweepOptions {
   /// where it stopped. The file must match the spec (name + per-cell
   /// config) or the run aborts.
   std::string checkpoint_path;
+
+  /// Per-block answer deadline for remote workers, in milliseconds. A
+  /// remote worker that holds a block past the deadline without replying —
+  /// wedged, but with its socket still open — is treated exactly like a
+  /// disconnect: dropped, its block requeued through the usual 3-strike
+  /// retry path. 0 (default) disables the deadline, restoring the
+  /// block-forever poll. Set it comfortably above the worst-case block
+  /// compute time; forked local shards are exempt (their death is a bug,
+  /// not weather, and they share this machine's clock anyway).
+  int block_deadline_ms = 0;
 };
 
 /// Executes a SweepSpec. Stateless between runs; run() may be called again.

@@ -111,6 +111,13 @@ void coordinator_handshake(WorkerChannel& ch) {
         std::to_string(hello.version) + ", coordinator v" +
         std::to_string(kProtocolVersion) + ")");
   }
+  if (hello.role != static_cast<std::uint32_t>(PeerRole::kSweepWorker)) {
+    ch.send(FrameKind::kError, "this endpoint drives sweep workers only");
+    throw std::runtime_error("peer '" + ch.label() +
+                             "' declared role " + std::to_string(hello.role) +
+                             ", not a sweep worker (serve peers must dial a "
+                             "ServeCoordinator)");
+  }
   HelloFrame ack;
   if (!ch.send(FrameKind::kHelloAck, encode_hello(ack))) {
     throw std::runtime_error("sweep worker '" + ch.label() +

@@ -1,11 +1,22 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 namespace h3dfact::util {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("flag --" + key + "=\"" + value +
+                              "\" is not a valid " + expected);
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "";
@@ -39,13 +50,29 @@ bool Cli::flag(const std::string& key, bool def) const {
 std::int64_t Cli::i64(const std::string& key, std::int64_t def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& value = it->second;
+  if (value.empty()) bad_value(key, value, "integer");
+  errno = 0;
+  char* end = nullptr;
+  std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size()) {
+    bad_value(key, value, "integer");
+  }
+  return parsed;
 }
 
 double Cli::f64(const std::string& key, double def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& value = it->second;
+  if (value.empty()) bad_value(key, value, "number");
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (errno == ERANGE || end != value.c_str() + value.size()) {
+    bad_value(key, value, "number");
+  }
+  return parsed;
 }
 
 std::string Cli::str(const std::string& key, std::string def) const {

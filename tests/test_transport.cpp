@@ -489,6 +489,78 @@ TEST(TcpTransport, TailDisconnectReassignsToIdleSurvivor) {
   for (auto& w : survivors) w.join();
 }
 
+// --- block deadline failover ------------------------------------------------
+
+// A worker that WEDGES — accepts a block and then neither answers nor
+// disconnects, socket held open — used to stall the sweep forever: the
+// scheduler's poll() had no timeout, so nothing ever woke it up.
+// SweepOptions::block_deadline_ms now treats the silence as a disconnect:
+// the wedged channel is dropped, the block requeues through the normal
+// 3-strike path onto the survivor, and the sweep completes bit-identical.
+TEST(TcpTransport, WedgedWorkerFailsOverWithinDeadline) {
+  register_unit_grid();
+  const sweep::GridRef ref{kUnitGrid, {{"trials", "12"}}};
+  const sweep::SweepSpec spec = sweep::build_grid(ref);
+  const auto reference = sweep::run_sweep(spec, {});
+
+  auto transport = std::make_shared<sweep::TcpTransport>(loopback_listen(2));
+  const std::uint16_t port = transport->listen_port();
+
+  std::atomic<bool> release{false};
+  std::thread wedged([port, &release]() {
+    const int fd = sweep::tcp_connect("127.0.0.1:" + std::to_string(port),
+                                      40, 50);
+    sweep::WorkerChannel ch(sweep::WorkerChannel::Kind::kTcp, fd, fd, -1,
+                            "wedged");
+    ch.send(sweep::FrameKind::kHello, sweep::encode_hello({}));
+    auto ack = ch.await_frame(10000);
+    ASSERT_TRUE(ack && ack->kind == sweep::FrameKind::kHelloAck);
+    auto init = ch.await_frame(10000);
+    ASSERT_TRUE(init && init->kind == sweep::FrameKind::kSpecInit);
+    const sweep::SpecInitFrame request =
+        sweep::decode_spec_init(init->payload);
+    sweep::SpecReadyFrame ready;
+    ready.cell_count = request.cell_count;
+    ready.fingerprint = request.fingerprint;
+    ch.send(sweep::FrameKind::kSpecReady, sweep::encode_spec_ready(ready));
+    auto task = ch.await_frame(10000);  // a block is now assigned to us...
+    ASSERT_TRUE(task && task->kind == sweep::FrameKind::kTask);
+    // ...and we go silent WITHOUT closing the socket. Only the block
+    // deadline can recover the assignment.
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ch.close_all();
+  });
+  auto survivors = launch_tcp_workers(port, 1);
+
+  sweep::SweepOptions opt;
+  opt.transport = transport;
+  opt.grid = ref;
+  opt.block_deadline_ms = 300;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = sweep::run_sweep(spec, opt);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  release.store(true);
+
+  // Failover must engage within the configured deadline (plus solve time),
+  // not hang until a transport-level timeout minutes away. The generous
+  // bound keeps slow CI machines out of the flake zone; without the
+  // deadline this test never returns at all.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    expect_stats_equal(results[i].stats, reference[i].stats,
+                       "deadline-requeued cell " + std::to_string(i));
+  }
+
+  wedged.join();
+  transport.reset();
+  opt.transport.reset();
+  for (auto& w : survivors) w.join();
+}
+
 // --- stdio transport (real exec path) ---------------------------------------
 
 TEST(StdioTransport, SpawnedWorkerSweepBitIdentical) {

@@ -275,6 +275,32 @@ TEST(Cli, FalseStringGivesFalseFlag) {
   EXPECT_FALSE(cli.flag("verbose", true));
 }
 
+// A mistyped numeric flag used to silently parse its longest numeric prefix
+// (--trials=1e4 -> 1) or 0 (--trials=abc); both now fail fast, and the
+// error names the offending flag so the user can find it.
+TEST(Cli, RejectsNonNumericValuesByFlagName) {
+  const char* argv[] = {"prog", "--trials=1e4", "--cap=abc", "--sigma=0.5x",
+                        "--empty=", "--good=42", "--rate=2.5"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.i64("good", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.f64("rate", 0), 2.5);
+  for (const char* key : {"trials", "cap", "empty"}) {
+    try {
+      (void)cli.i64(key, 0);
+      FAIL() << "expected rejection of --" << key;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_THROW((void)cli.f64("sigma", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.f64("empty", 0), std::invalid_argument);
+  // Out-of-range magnitudes are overflow, not truncation-to-garbage.
+  const char* argv2[] = {"prog", "--n=99999999999999999999999999"};
+  Cli big(2, const_cast<char**>(argv2));
+  EXPECT_THROW((void)big.i64("n", 0), std::invalid_argument);
+}
+
 TEST(Logging, LevelFilters) {
   using namespace h3dfact::util;
   set_log_level(LogLevel::kWarn);
