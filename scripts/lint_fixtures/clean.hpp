@@ -1,0 +1,15 @@
+#pragma once
+// Fixture: negative control — must trip NOTHING. Mentions of banned names
+// in comments ("use strtol", "std::mutex", "::poll", "rand()") and in
+// string literals must not fire once comment/string stripping runs.
+
+#include <string>
+
+namespace fixture {
+
+// Someone once suggested std::mutex and ::poll(fd) here; we declined.
+inline std::string advice() {
+  return "never call strtol, rand() or std::random_device directly";
+}
+
+}  // namespace fixture

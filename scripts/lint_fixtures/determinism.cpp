@@ -1,0 +1,9 @@
+// Fixture: must trip [determinism]. A std::random_device seed makes every
+// run unrepeatable; all stochastic paths must seed util::Rng instead.
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}

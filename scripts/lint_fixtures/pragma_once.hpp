@@ -1,0 +1,8 @@
+// Fixture: must trip [pragma-once]. The include guard below is not the
+// required `#pragma once` first non-comment line.
+#ifndef FIXTURE_PRAGMA_ONCE_HPP
+#define FIXTURE_PRAGMA_ONCE_HPP
+
+inline int fixture_value() { return 42; }
+
+#endif

@@ -1,0 +1,13 @@
+// Fixture: must trip [raw-mutex]. A bare std::mutex is invisible to Clang
+// -Wthread-safety; only the annotated util::Mutex wrapper may guard state.
+#include <mutex>
+
+namespace fixture {
+std::mutex g_unannotated;
+int g_value;  // nothing ties this to the mutex above
+
+void bump() {
+  std::lock_guard<std::mutex> lock(g_unannotated);
+  ++g_value;
+}
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: must trip [raw-parse]. strtol silently skips leading whitespace
+// and stops at the first non-digit, so "--trials=1e4" parses as 1.
+#include <cstdlib>
+#include <string>
+
+long lenient_trials(const std::string& token) {
+  return std::strtol(token.c_str(), nullptr, 10);
+}

@@ -5,12 +5,12 @@
 #include <cmath>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "resonator/batched.hpp"
+#include "util/sync.hpp"
 
 namespace h3dfact::resonator {
 
@@ -211,8 +211,12 @@ TrialStats run_trial_block(const TrialConfig& config, std::size_t begin,
   // the aggregate is a pure function of (config, block range).
   std::vector<TrialStats> chunk_stats(nchunks);
   std::atomic<std::size_t> next_chunk{0};
-  std::mutex error_mutex;
-  std::exception_ptr worker_error;
+  // First worker exception wins; GUARDED_BY makes the Clang CI legs prove
+  // every access happens under the mutex.
+  struct ErrorSlot {
+    util::Mutex mutex;
+    std::exception_ptr error GUARDED_BY(mutex);
+  } worker_error;
 
   // Per-trial streams derive from (seed, trial index) alone; the chunk's
   // engine-randomness stream derives from (seed, chunk index) alone.
@@ -286,8 +290,8 @@ TrialStats run_trial_block(const TrialConfig& config, std::size_t begin,
     try {
       worker();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!worker_error) worker_error = std::current_exception();
+      util::MutexLock lock(worker_error.mutex);
+      if (!worker_error.error) worker_error.error = std::current_exception();
     }
   };
 
@@ -298,7 +302,8 @@ TrialStats run_trial_block(const TrialConfig& config, std::size_t begin,
     pool.reserve(nthreads);
     for (unsigned i = 0; i < nthreads; ++i) pool.emplace_back(guarded_worker);
     for (auto& th : pool) th.join();
-    if (worker_error) std::rethrow_exception(worker_error);
+    util::MutexLock lock(worker_error.mutex);
+    if (worker_error.error) std::rethrow_exception(worker_error.error);
   }
 
   TrialStats total;

@@ -113,6 +113,14 @@ class ServeCoordinator {
   /// Ask a running run() to stop at its next loop turn (thread-safe).
   void request_stop();
 
+  /// Live snapshot of the counters, safe to call from any thread while
+  /// run() is executing (monitoring loops, autoscaling hooks, the stop
+  /// path). The counters behind it are GUARDED_BY a util::Mutex; reading
+  /// them without this accessor is a -Wthread-safety error on Clang and a
+  /// TSan report at runtime (tests/test_race_stress.cpp hammers exactly
+  /// this path).
+  [[nodiscard]] ServeStats stats() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

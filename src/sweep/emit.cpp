@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/parse.hpp"
+
 namespace h3dfact::sweep {
 
 namespace {
@@ -382,7 +384,11 @@ class JsonParser {
         }
         if (pos_ == start) fail("unexpected character");
         v.kind = JsonValue::Kind::kNumber;
-        v.number = std::strtod(text_.c_str() + start, nullptr);
+        // The scanner bounded the token; the strict parse rejects malformed
+        // tails inside it ("1e+" used to read as 1.0 here).
+        const auto parsed = util::parse_f64(text_.substr(start, pos_ - start));
+        if (!parsed) fail("bad number");
+        v.number = *parsed;
         return v;
       }
     }
@@ -466,7 +472,9 @@ CellResult cell_from_json(const JsonValue& v) {
   r.query_flip_prob = config.at("query_flip_prob").num();
   // The seed is emitted as a string to protect its 64-bit range from
   // double-precision JSON consumers.
-  r.seed = std::strtoull(config.at("seed").str().c_str(), nullptr, 10);
+  const auto seed = util::parse_u64(config.at("seed").str());
+  if (!seed) throw std::runtime_error("checkpoint: bad seed token");
+  r.seed = *seed;
 
   const JsonValue& stats = v.at("stats");
   r.stats.trials = stats.at("trials").uint();

@@ -1,10 +1,10 @@
 #include "sweep/registry.hpp"
 
-#include <cerrno>
-#include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
+
+#include "util/parse.hpp"
+#include "util/sync.hpp"
 
 namespace h3dfact::sweep {
 
@@ -14,8 +14,8 @@ namespace {
 // (bench mains, sweep_worker, test fixtures) but lookups may come from the
 // worker serve loop while tests register concurrently.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, GridBuilder> builders;
+  util::Mutex mutex;
+  std::map<std::string, GridBuilder> builders GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -29,13 +29,13 @@ void register_grid(const std::string& name, GridBuilder builder) {
   if (name.empty()) throw std::invalid_argument("grid name must be non-empty");
   if (!builder) throw std::invalid_argument("grid builder must be callable");
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   r.builders[name] = std::move(builder);
 }
 
 bool grid_registered(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   return r.builders.count(name) > 0;
 }
 
@@ -43,7 +43,7 @@ SweepSpec build_grid(const GridRef& ref) {
   GridBuilder builder;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    util::MutexLock lock(r.mutex);
     auto it = r.builders.find(ref.name);
     if (it == r.builders.end()) {
       throw std::out_of_range("unknown sweep grid '" + ref.name + "'");
@@ -57,7 +57,7 @@ SweepSpec build_grid(const GridRef& ref) {
 
 std::vector<std::string> registered_grids() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   std::vector<std::string> names;
   names.reserve(r.builders.size());
   for (const auto& [name, builder] : r.builders) {
@@ -71,30 +71,24 @@ std::int64_t param_i64(const GridParams& params, const std::string& key,
                        std::int64_t def) {
   auto it = params.find(key);
   if (it == params.end()) return def;
-  const std::string& value = it->second;
-  errno = 0;
-  char* end = nullptr;
-  std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
-  if (value.empty() || errno == ERANGE || end != value.c_str() + value.size()) {
-    throw std::invalid_argument("grid param " + key + "=\"" + value +
+  const auto parsed = util::parse_i64(it->second);
+  if (!parsed) {
+    throw std::invalid_argument("grid param " + key + "=\"" + it->second +
                                 "\" is not a valid integer");
   }
-  return parsed;
+  return *parsed;
 }
 
 double param_f64(const GridParams& params, const std::string& key,
                  double def) {
   auto it = params.find(key);
   if (it == params.end()) return def;
-  const std::string& value = it->second;
-  errno = 0;
-  char* end = nullptr;
-  double parsed = std::strtod(value.c_str(), &end);
-  if (value.empty() || errno == ERANGE || end != value.c_str() + value.size()) {
-    throw std::invalid_argument("grid param " + key + "=\"" + value +
+  const auto parsed = util::parse_f64(it->second);
+  if (!parsed) {
+    throw std::invalid_argument("grid param " + key + "=\"" + it->second +
                                 "\" is not a valid number");
   }
-  return parsed;
+  return *parsed;
 }
 
 bool param_flag(const GridParams& params, const std::string& key, bool def) {

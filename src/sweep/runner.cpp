@@ -11,7 +11,6 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -21,6 +20,7 @@
 #include "sweep/emit.hpp"
 #include "sweep/protocol.hpp"
 #include "sweep/transport.hpp"
+#include "util/sync.hpp"
 
 #if !defined(_WIN32)
 #define H3DFACT_SWEEP_HAS_FORK 1
@@ -303,6 +303,21 @@ std::vector<CellResult> load_checkpoint(const SweepSpec& spec,
 
 // --- in-process execution (1 worker, fallback, and non-POSIX) ---------------
 
+// State shared by the whole worker pool. The queue head is a lock-free
+// atomic; everything else is written only under `mutex`, and GUARDED_BY
+// makes the Clang CI legs reject any unlocked access at compile time.
+struct ThreadPoolShared {
+  util::Mutex mutex;
+  CellAssembler assembler GUARDED_BY(mutex);
+  CompletionLog& log GUARDED_BY(mutex);
+  std::exception_ptr error GUARDED_BY(mutex);
+  std::atomic<std::size_t> next{0};
+
+  ThreadPoolShared(const SweepSpec& spec, const std::vector<std::size_t>& cells,
+                   CompletionLog& completion)
+      : assembler(spec, cells), log(completion) {}
+};
+
 std::vector<CellResult> run_with_threads(const SweepSpec& spec,
                                          const SweepOptions& options,
                                          const std::vector<std::size_t>& cells,
@@ -311,14 +326,11 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
   const unsigned cell_threads = effective_cell_threads(options, shards);
   const std::vector<Task> tasks = build_tasks(spec, cells, shards);
 
-  CellAssembler assembler(spec, cells);
-  std::atomic<std::size_t> next{0};
-  std::mutex mutex;  // guards assembler/log
-  std::exception_ptr error;
+  ThreadPoolShared shared(spec, cells, log);
 
   auto worker = [&]() {
     for (;;) {
-      const std::size_t t = next.fetch_add(1);
+      const std::size_t t = shared.next.fetch_add(1);
       if (t >= tasks.size()) break;
       CellResult partial;
       try {
@@ -330,9 +342,10 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
                                  std::to_string(tasks[t].cell) + ": " +
                                  e.what());
       }
-      std::lock_guard<std::mutex> lock(mutex);
-      if (auto done = assembler.add(tasks[t].begin, std::move(partial))) {
-        log.complete(std::move(*done));
+      util::MutexLock lock(shared.mutex);
+      if (auto done = shared.assembler.add(tasks[t].begin,
+                                           std::move(partial))) {
+        shared.log.complete(std::move(*done));
       }
     }
   };
@@ -340,9 +353,9 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
     try {
       worker();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (!error) error = std::current_exception();
-      next.store(tasks.size());  // drain the queue so peers stop early
+      util::MutexLock lock(shared.mutex);
+      if (!shared.error) shared.error = std::current_exception();
+      shared.next.store(tasks.size());  // drain the queue so peers stop early
     }
   };
 
@@ -353,9 +366,11 @@ std::vector<CellResult> run_with_threads(const SweepSpec& spec,
     pool.reserve(shards);
     for (unsigned i = 0; i < shards; ++i) pool.emplace_back(guarded);
     for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
+    util::MutexLock lock(shared.mutex);
+    if (shared.error) std::rethrow_exception(shared.error);
   }
-  return log.take();
+  util::MutexLock lock(shared.mutex);
+  return shared.log.take();
 }
 
 // --- transport-generic scheduler -------------------------------------------

@@ -1,10 +1,10 @@
 #include "util/cli.hpp"
 
-#include <cerrno>
 #include <cstdint>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "util/parse.hpp"
 
 namespace h3dfact::util {
 
@@ -50,29 +50,17 @@ bool Cli::flag(const std::string& key, bool def) const {
 std::int64_t Cli::i64(const std::string& key, std::int64_t def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;
-  const std::string& value = it->second;
-  if (value.empty()) bad_value(key, value, "integer");
-  errno = 0;
-  char* end = nullptr;
-  std::int64_t parsed = std::strtoll(value.c_str(), &end, 10);
-  if (errno == ERANGE || end != value.c_str() + value.size()) {
-    bad_value(key, value, "integer");
-  }
-  return parsed;
+  const auto parsed = parse_i64(it->second);
+  if (!parsed) bad_value(key, it->second, "integer");
+  return *parsed;
 }
 
 double Cli::f64(const std::string& key, double def) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return def;
-  const std::string& value = it->second;
-  if (value.empty()) bad_value(key, value, "number");
-  errno = 0;
-  char* end = nullptr;
-  double parsed = std::strtod(value.c_str(), &end);
-  if (errno == ERANGE || end != value.c_str() + value.size()) {
-    bad_value(key, value, "number");
-  }
-  return parsed;
+  const auto parsed = parse_f64(it->second);
+  if (!parsed) bad_value(key, it->second, "number");
+  return *parsed;
 }
 
 std::string Cli::str(const std::string& key, std::string def) const {

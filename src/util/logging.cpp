@@ -2,14 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace h3dfact::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes sink writes so concurrent log() lines never interleave.
+Mutex g_mutex;
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -27,7 +29,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << prefix(level) << msg << '\n';
 }
 

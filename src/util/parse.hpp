@@ -1,0 +1,73 @@
+#pragma once
+// The repository's single strict number-parse choke point.
+//
+// Every user-supplied numeric token — CLI flags (util::Cli), sweep grid
+// params (sweep::param_i64/param_f64), JSON checkpoint numbers
+// (sweep/emit.cpp) — parses through these two functions. They accept a
+// token if and only if the ENTIRE token is one number: no leading
+// whitespace (strtoll/strtod silently skip it), no trailing garbage
+// ("--trials=1e4" must not parse as 1), no empty tokens, no overflow.
+// Callers turn nullopt into a loud, context-named error.
+//
+// scripts/lint_invariants.py bans the raw strto*/ato*/sto* families
+// everywhere else in src/ so a new parse site cannot quietly reintroduce
+// the lenient behavior this file exists to kill (PR 6's silent-misparse
+// bug sweep).
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace h3dfact::util {
+
+/// Strict base-10 signed integer parse of the whole token.
+inline std::optional<std::int64_t> parse_i64(const std::string& token) {
+  if (token.empty() ||
+      std::isspace(static_cast<unsigned char>(token.front())) != 0) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// Strict base-10 unsigned integer parse of the whole token. Rejects a
+/// leading '-' outright: strtoull would wrap "-1" to 2^64-1 silently.
+inline std::optional<std::uint64_t> parse_u64(const std::string& token) {
+  if (token.empty() || token.front() == '-' ||
+      std::isspace(static_cast<unsigned char>(token.front())) != 0) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// Strict floating-point parse of the whole token (accepts everything
+/// strtod does — decimal, scientific, inf/nan — but only as a full token).
+inline std::optional<double> parse_f64(const std::string& token) {
+  if (token.empty() ||
+      std::isspace(static_cast<unsigned char>(token.front())) != 0) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (errno == ERANGE || end != token.c_str() + token.size()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace h3dfact::util

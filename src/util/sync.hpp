@@ -1,0 +1,97 @@
+#pragma once
+// Thread-safety-annotated synchronization primitives.
+//
+// The ONLY sanctioned mutex/condvar types in src/ (enforced by
+// scripts/lint_invariants.py): thin zero-overhead wrappers over std::mutex /
+// std::condition_variable_any that carry the Clang thread-safety-analysis
+// attributes from util/thread_annotations.hpp, so every lock site in the
+// repository participates in -Wthread-safety checking on the Clang CI legs.
+//
+//   util::Mutex m;
+//   int counter GUARDED_BY(m);          // members: declare the discipline
+//   { util::MutexLock lock(m); ++counter; }  // scoped acquire/release
+//
+// Semantics match the std:: primitives exactly (test_util.cpp pins
+// lock/try_lock/condvar behavior); only the type names and the attribute
+// surface differ.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace h3dfact::util {
+
+/// std::mutex carrying the `capability` attribute. Prefer MutexLock over
+/// calling lock()/unlock() directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over util::Mutex (the std::lock_guard shape, annotated).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to util::Mutex. Waits take the Mutex the caller
+/// already holds (REQUIRES enforces it at compile time on Clang); as with
+/// std::condition_variable the mutex is atomically released while blocked
+/// and re-acquired before wait() returns.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate pred) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
+    cv_.wait(relock, std::move(pred));
+    relock.release();
+  }
+
+  /// False when `timeout` elapsed with the predicate still false.
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mutex, std::chrono::duration<Rep, Period> timeout,
+                Predicate pred) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
+    const bool ok = cv_.wait_for(relock, timeout, std::move(pred));
+    relock.release();
+    return ok;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace h3dfact::util

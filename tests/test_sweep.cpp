@@ -11,12 +11,45 @@
 #include <vector>
 
 #include "sweep/emit.hpp"
+#include "sweep/registry.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 
 namespace {
 
 using namespace h3dfact;
+
+// Regression for the raw-strtoll grid-param parse: param_i64/param_f64 now
+// route through the strict util::parse choke point, so "--param=1e4"-style
+// tokens (and the whitespace forms strtoll silently skips) fail loudly
+// with the param name instead of truncating to 1.
+TEST(GridParams, StrictParseRejectsPartialTokensByName) {
+  sweep::GridParams params;
+  params["trials"] = "1e4";
+  params["pad"] = " 14";
+  params["tail"] = "14 ";
+  params["sigma"] = "0.5x";
+  params["good"] = "250";
+  params["rate"] = "2.5e-2";
+
+  EXPECT_EQ(sweep::param_i64(params, "good", 0), 250);
+  EXPECT_DOUBLE_EQ(sweep::param_f64(params, "rate", 0.0), 2.5e-2);
+  EXPECT_EQ(sweep::param_i64(params, "absent", 77), 77);  // defaults intact
+
+  for (const char* key : {"trials", "pad", "tail"}) {
+    try {
+      (void)sweep::param_i64(params, key, 0);
+      FAIL() << "expected strict rejection of param " << key;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_THROW((void)sweep::param_f64(params, "sigma", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep::param_f64(params, "pad", 0.0),
+               std::invalid_argument);
+}
 
 void expect_stats_equal(const resonator::TrialStats& a,
                         const resonator::TrialStats& b,

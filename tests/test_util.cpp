@@ -1,19 +1,24 @@
 // Unit tests for util: PRNG determinism and distribution sanity, streaming
 // statistics, table formatting, CLI parsing.
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <gtest/gtest.h>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -318,6 +323,141 @@ TEST(SplitMix, KnownSequenceIsStable) {
   EXPECT_NE(a, b);
   std::uint64_t s2 = 0;
   EXPECT_EQ(h3dfact::util::splitmix64(s2), a);
+}
+
+// --- strict parse choke point (util/parse.hpp) ------------------------------
+
+TEST(Parse, AcceptsExactlyFullTokens) {
+  using h3dfact::util::parse_f64;
+  using h3dfact::util::parse_i64;
+  EXPECT_EQ(parse_i64("42").value(), 42);
+  EXPECT_EQ(parse_i64("-7").value(), -7);
+  EXPECT_EQ(parse_i64("+9").value(), 9);
+  EXPECT_DOUBLE_EQ(parse_f64("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("1e4").value(), 1e4);
+  EXPECT_DOUBLE_EQ(parse_f64("-3.25e-2").value(), -3.25e-2);
+  // Full 64-bit range: checkpoint seeds round-trip through parse_u64.
+  using h3dfact::util::parse_u64;
+  EXPECT_EQ(parse_u64("18446744073709551615").value(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Parse, RejectsPartialEmptyAndOverflowTokens) {
+  using h3dfact::util::parse_f64;
+  using h3dfact::util::parse_i64;
+  EXPECT_FALSE(parse_i64(""));
+  EXPECT_FALSE(parse_i64("1e4"));   // scientific is not an integer
+  EXPECT_FALSE(parse_i64("12x"));   // trailing garbage
+  EXPECT_FALSE(parse_i64("0x10"));  // hex is not base-10
+  EXPECT_FALSE(parse_i64("99999999999999999999999999"));  // overflow
+  EXPECT_FALSE(parse_f64(""));
+  EXPECT_FALSE(parse_f64("0.5x"));
+  EXPECT_FALSE(parse_f64("1e+"));  // malformed exponent tail
+  using h3dfact::util::parse_u64;
+  EXPECT_FALSE(parse_u64("-1"));  // strtoull would wrap to 2^64-1
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // one past max
+  EXPECT_FALSE(parse_u64(" 14"));
+}
+
+// strtoll/strtod silently skip leading whitespace, so " 14" used to parse
+// as 14 through both Cli and the grid params; the choke point rejects it.
+TEST(Parse, RejectsLeadingWhitespaceThatStrtollAccepts) {
+  using h3dfact::util::parse_f64;
+  using h3dfact::util::parse_i64;
+  EXPECT_FALSE(parse_i64(" 14"));
+  EXPECT_FALSE(parse_i64("\t14"));
+  EXPECT_FALSE(parse_i64("14 "));
+  EXPECT_FALSE(parse_f64(" 2.5"));
+  EXPECT_FALSE(parse_f64("2.5 "));
+}
+
+TEST(Cli, RejectsWhitespacePaddedNumbers) {
+  const char* argv[] = {"prog", "--trials= 14", "--sigma=0.5 "};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.i64("trials", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.f64("sigma", 0), std::invalid_argument);
+}
+
+// --- annotated sync wrappers (util/sync.hpp) --------------------------------
+// Semantics must match the std:: primitives exactly; the wrappers add only
+// the thread-safety-analysis attribute surface.
+
+// try_lock from the holder's own thread is UB for std::mutex, so contention
+// probes run on a helper thread (acquire-and-release if it succeeds).
+bool try_lock_from_other_thread(h3dfact::util::Mutex& m) {
+  bool acquired = false;
+  std::thread probe([&]() {
+    if (m.try_lock()) {
+      acquired = true;
+      m.unlock();
+    }
+  });
+  probe.join();
+  return acquired;
+}
+
+TEST(Sync, MutexLockUnlockAndTryLock) {
+  h3dfact::util::Mutex m;
+  m.lock();
+  EXPECT_FALSE(try_lock_from_other_thread(m));  // held -> try_lock fails
+  m.unlock();
+  EXPECT_TRUE(try_lock_from_other_thread(m));  // released -> succeeds
+}
+
+TEST(Sync, MutexLockIsScopedLikeLockGuard) {
+  h3dfact::util::Mutex m;
+  {
+    h3dfact::util::MutexLock lock(m);
+    EXPECT_FALSE(try_lock_from_other_thread(m));
+  }
+  EXPECT_TRUE(try_lock_from_other_thread(m));  // released at scope exit
+}
+
+TEST(Sync, CondVarNotifyWakesWaiter) {
+  h3dfact::util::Mutex m;
+  h3dfact::util::CondVar cv;
+  bool ready = false;
+  std::thread waker([&]() {
+    h3dfact::util::MutexLock lock(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    h3dfact::util::MutexLock lock(m);
+    while (!ready) cv.wait(m);
+    EXPECT_TRUE(ready);
+    EXPECT_FALSE(try_lock_from_other_thread(m));  // wait() re-acquired it
+  }
+  waker.join();
+}
+
+TEST(Sync, CondVarWaitForTimesOutLikeStd) {
+  h3dfact::util::Mutex m;
+  h3dfact::util::CondVar cv;
+  h3dfact::util::MutexLock lock(m);
+  const bool ok =
+      cv.wait_for(m, std::chrono::milliseconds(10), []() { return false; });
+  EXPECT_FALSE(ok);  // predicate still false after the timeout
+  EXPECT_FALSE(try_lock_from_other_thread(m));  // and the mutex is held again
+}
+
+TEST(Sync, CondVarPredicateWaitSeesNotifiedState) {
+  h3dfact::util::Mutex m;
+  h3dfact::util::CondVar cv;
+  int stage = 0;
+  std::thread producer([&]() {
+    for (int s = 1; s <= 3; ++s) {
+      h3dfact::util::MutexLock lock(m);
+      stage = s;
+      cv.notify_all();
+    }
+  });
+  {
+    h3dfact::util::MutexLock lock(m);
+    cv.wait(m, [&]() { return stage == 3; });
+    EXPECT_EQ(stage, 3);
+  }
+  producer.join();
 }
 
 }  // namespace
