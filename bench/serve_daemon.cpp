@@ -15,6 +15,12 @@
 //                         rejected, not queued [1024]
 //   --deadline-ms=N       drop a worker holding a batch longer than N ms
 //                         and requeue the batch [10000; 0 = wait forever]
+//   --artifact=PATH       warm-start: load-and-verify the codebooks from
+//                         this H3DA artifact (bench/h3dfact_pack) instead
+//                         of generating from --seed, and advertise the
+//                         path + fingerprint to every worker [off]
+//   --save-artifact=PATH  serialize the bound codebooks to PATH on startup
+//                         (the pack step of the warm-start flow) [off]
 //
 // Prints "listening on port P" on stderr once bound, and the final
 // ServeStats as one JSON object on stdout when the run ends.
@@ -52,6 +58,8 @@ int main(int argc, char** argv) {
     cfg.max_delay_us = cli.i64("max-delay-us", 2000);
     cfg.max_queue = static_cast<std::size_t>(cli.i64("max-queue", 1024));
     cfg.worker_deadline_ms = static_cast<int>(cli.i64("deadline-ms", 10000));
+    cfg.artifact = cli.str("artifact", "");
+    cfg.save_artifact = cli.str("save-artifact", "");
 
     serve::ServeCoordinator coordinator(std::move(cfg));
     g_coordinator = &coordinator;

@@ -22,6 +22,11 @@
 // Common flags:
 //   --cell-threads=N      override the coordinator-requested per-cell
 //                         thread count (0 = accept the request)
+//   --artifact=PATH       (--serve mode) warm-start from this local H3DA
+//                         artifact instead of the path the coordinator
+//                         advertises — for hosts where that path does not
+//                         resolve; falls back to the seed rebuild when the
+//                         file is missing or fails verification
 //   --list                print the registered grid names and exit
 //
 // Determinism: per-cell seeds derive from (master seed, cell index) and
@@ -74,7 +79,7 @@ int main(int argc, char** argv) {
       const int fd = sweep::tcp_connect(serve, retries, retry_ms);
       std::fprintf(stderr, "[sweep_worker] serving batches from %s\n",
                    serve.c_str());
-      return serve::serve_factor_worker(fd, fd);
+      return serve::serve_factor_worker(fd, fd, cli.str("artifact", ""));
     }
     if (stdio) {
       return sweep::serve_remote_worker(STDIN_FILENO, STDOUT_FILENO,

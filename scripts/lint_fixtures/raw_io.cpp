@@ -1,0 +1,12 @@
+// Fixture: binary file I/O outside src/io/ must trip the raw-io rule —
+// both the C stdio form and a binary-mode stream.
+#include <cstdio>
+#include <fstream>
+
+void dump(const void* data, std::size_t n, std::FILE* fp) {
+  (void)std::fwrite(data, 1, n, fp);
+}
+
+void dump_stream(const char* path) {
+  std::ofstream os(path, std::ios::binary);
+}

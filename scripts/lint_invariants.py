@@ -20,6 +20,11 @@ express (docs/static-analysis.md):
                src/util/sync.hpp. All other code takes the annotated
                util::Mutex wrappers so Clang -Wthread-safety sees every
                lock site.
+  raw-io       Binary file I/O (fread/fwrite, std::ios::binary streams)
+               may appear only under src/io/, the versioned-artifact
+               choke point (docs/serialization.md). Ad-hoc binary
+               readers skip the magic/version/digest validation that
+               makes corrupt files a typed error instead of UB.
   pragma-once  Every header under src/ opens with #pragma once as its
                first non-comment line.
 
@@ -64,6 +69,10 @@ PARSE_ALLOWLIST = {"src/util/parse.hpp"}
 
 # The one file where the raw std synchronization types may live.
 MUTEX_ALLOWLIST = {"src/util/sync.hpp"}
+
+# The one directory where raw binary file I/O may live (prefix match):
+# every on-disk binary format goes through the H3DA artifact container.
+RAW_IO_ALLOW_PREFIXES = ("src/io/",)
 
 RULES = [
     {
@@ -110,6 +119,19 @@ RULES = [
         "message": "raw std synchronization outside src/util/sync.hpp; use "
                    "util::Mutex/MutexLock/CondVar so -Wthread-safety sees "
                    "the lock site",
+    },
+    {
+        "id": "raw-io",
+        "pattern": re.compile(
+            r"(?:(?<![\w])(?:std\s*::\s*)?f(?:read|write)\s*\(|"
+            r"(?<![\w])ios(?:_base)?\s*::\s*binary\b)"
+        ),
+        "allow": set(),
+        "allow_prefixes": RAW_IO_ALLOW_PREFIXES,
+        "message": "raw binary file I/O outside src/io/; serialize through "
+                   "the H3DA artifact container (io::ArtifactWriter / "
+                   "io::Artifact::load) so files carry magic, version and "
+                   "digests",
     },
 ]
 
@@ -168,6 +190,8 @@ def lint_file(path: Path, rel: str) -> list[tuple[str, int, str, str]]:
     code = strip_comments_and_strings(text)
     for rule in RULES:
         if rel in rule["allow"]:
+            continue
+        if any(rel.startswith(p) for p in rule.get("allow_prefixes", ())):
             continue
         for lineno, line in enumerate(code.splitlines(), start=1):
             if rule["pattern"].search(line):

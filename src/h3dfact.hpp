@@ -6,6 +6,9 @@
 //   hdc         — bipolar hypervector algebra, codebooks, item memory
 //   resonator   — baseline + stochastic resonator networks, channels, trials
 //   sweep       — declarative experiment grids, sharded runner, emitters
+//   serve       — request/reply factorization daemon on the sweep transport
+//   io          — versioned H3DA artifacts: codebooks, item memories,
+//                 resonator snapshots; warm-start + mmap zero-copy loads
 //   device      — RRAM / PCM / ADC / sense-path / SRAM behavioural models
 //   cim         — crossbars, CIM macros, hardware-in-the-loop MVM engine
 //   arch        — tiers, TSVs, designs, batch scheduler, full-chip facade
@@ -31,11 +34,17 @@
 #include "resonator/problem.hpp"
 #include "resonator/profiler.hpp"
 #include "resonator/resonator.hpp"
+#include "resonator/snapshot.hpp"
 #include "resonator/trial_runner.hpp"
 
 #include "sweep/emit.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
+
+#include "serve/serving.hpp"
+
+#include "io/artifact.hpp"
+#include "io/codec.hpp"
 
 #include "device/adc.hpp"
 #include "device/pcm_cell.hpp"

@@ -55,6 +55,34 @@ Codebook::Codebook(std::vector<BipolarVector> vectors, std::string name)
   build_dense();
 }
 
+Codebook Codebook::from_packed(std::size_t dim, std::size_t size,
+                               const std::uint64_t* words, std::size_t n_words,
+                               std::string name, bool borrow) {
+  const std::size_t per_row = (dim + 63) / 64;
+  if (n_words != size * per_row) {
+    throw std::invalid_argument("from_packed: word count " +
+                                std::to_string(n_words) + " != size*words " +
+                                std::to_string(size * per_row));
+  }
+  Codebook book;
+  book.dim_ = dim;
+  book.name_ = std::move(name);
+  book.vectors_.reserve(size);
+  for (std::size_t m = 0; m < size; ++m) {
+    book.vectors_.push_back(
+        BipolarVector::from_words(dim, words + m * per_row, per_row));
+  }
+  book.build_dense();
+  if (borrow) {
+    // The kernels stream rows straight from the caller's block (mmap pages
+    // shared read-only across workers); drop the just-built owned copy.
+    book.packed_.clear();
+    book.packed_.shrink_to_fit();
+    book.packed_view_ = words;
+  }
+  return book;
+}
+
 void Codebook::build_dense() {
   dense_.resize(vectors_.size() * dim_);
   for (std::size_t m = 0; m < vectors_.size(); ++m) {
@@ -78,7 +106,7 @@ std::vector<int> Codebook::similarity(
   if (u.dim() != dim_) throw std::invalid_argument("dim mismatch in similarity");
   std::vector<int> a(vectors_.size());
   const std::uint64_t* uw = u.data();
-  backend.similarity_tile(packed_.data(), words_, vectors_.size(), &uw, 1,
+  backend.similarity_tile(packed_data(), words_, vectors_.size(), &uw, 1,
                           words_, static_cast<long long>(dim_), a.data(), 1);
   return a;
 }
@@ -126,7 +154,7 @@ CoeffBlock Codebook::similarity_batch(
   constexpr std::size_t kRowTile = 8;
   for (std::size_t m0 = 0; m0 < kM; m0 += kRowTile) {
     const std::size_t m1 = std::min(m0 + kRowTile, kM);
-    backend.similarity_tile(packed_.data() + m0 * words_, words_, m1 - m0,
+    backend.similarity_tile(packed_data() + m0 * words_, words_, m1 - m0,
                             queries.data(), kB, words_,
                             static_cast<long long>(dim_), a.data.data() + m0 * kB,
                             kB);
@@ -227,6 +255,27 @@ double CodebookSet::search_space() const {
   double total = 1.0;
   for (const auto& b : books_) total *= static_cast<double>(b.size());
   return total;
+}
+
+std::uint64_t set_fingerprint(const CodebookSet& set) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix64(set.dim());
+  mix64(set.factors());
+  for (std::size_t f = 0; f < set.factors(); ++f) {
+    const Codebook& book = set.book(f);
+    mix64(book.size());
+    for (std::size_t m = 0; m < book.size(); ++m) {
+      const BipolarVector& v = book.vector(m);
+      for (std::size_t w = 0; w < v.words(); ++w) mix64(v.data()[w]);
+    }
+  }
+  return h;
 }
 
 }  // namespace h3dfact::hdc

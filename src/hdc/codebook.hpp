@@ -67,6 +67,17 @@ class Codebook {
   /// Build from explicit vectors (all must share the same dimension).
   explicit Codebook(std::vector<BipolarVector> vectors, std::string name = "");
 
+  /// Rebuild from a row-major block of packed codevector words (`size` rows
+  /// of ceil(dim/64) words each) — the deserialization path of src/io/.
+  /// With `borrow == false` the words are copied. With `borrow == true` the
+  /// similarity kernels stream rows straight out of `words` (the mmap
+  /// zero-copy path): the caller must keep the block alive and unchanged
+  /// for the lifetime of the codebook and every copy of it (io::codec ties
+  /// the mapping's lifetime to the set with an aliasing shared_ptr).
+  static Codebook from_packed(std::size_t dim, std::size_t size,
+                              const std::uint64_t* words, std::size_t n_words,
+                              std::string name = "", bool borrow = false);
+
   [[nodiscard]] std::size_t dim() const { return dim_; }
   [[nodiscard]] std::size_t size() const { return vectors_.size(); }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -127,6 +138,20 @@ class Codebook {
   /// Row-major ±1 int8 matrix view (size() × dim()), for external kernels.
   [[nodiscard]] const std::vector<std::int8_t>& dense() const { return dense_; }
 
+  /// Packed words per codevector row (= ceil(dim/64)).
+  [[nodiscard]] std::size_t words_per_row() const { return words_; }
+
+  /// Row-major packed codevector words (size() rows × words_per_row()):
+  /// the exact bytes the similarity kernels stream and src/io/ serializes.
+  /// Points into the owned copy, or into a borrowed block (mmap) for
+  /// codebooks built with from_packed(..., borrow = true).
+  [[nodiscard]] const std::uint64_t* packed_data() const {
+    return packed_view_ ? packed_view_ : packed_.data();
+  }
+
+  /// True when packed_data() borrows caller-owned storage (zero-copy load).
+  [[nodiscard]] bool packed_borrowed() const { return packed_view_ != nullptr; }
+
  private:
   void build_dense();
 
@@ -137,6 +162,9 @@ class Codebook {
   // Row-major copy of the packed codevector words (size() rows × words_
   // words), so the similarity tile kernels stream rows contiguously.
   std::vector<std::uint64_t> packed_;
+  // Borrowed packed rows (from_packed with borrow=true): when set, the
+  // kernels read from here and packed_ stays empty.
+  const std::uint64_t* packed_view_ = nullptr;
   std::size_t words_ = 0;  // packed words per row
 };
 
@@ -165,5 +193,12 @@ class CodebookSet {
   std::size_t dim_ = 0;
   std::vector<Codebook> books_;
 };
+
+/// Order-independent FNV-1a digest of a codebook set: structural dimensions
+/// plus every codevector's packed words in (factor, codevector, word) order.
+/// Any bit of difference — size, shape or content — changes the digest.
+/// This is the identity both serve's worker-binding handshake and the
+/// src/io/ artifact layer verify against.
+std::uint64_t set_fingerprint(const CodebookSet& set);
 
 }  // namespace h3dfact::hdc

@@ -32,6 +32,18 @@ BipolarVector BipolarVector::random(std::size_t dim, util::Rng& rng) {
   return v;
 }
 
+BipolarVector BipolarVector::from_words(std::size_t dim,
+                                        const std::uint64_t* words,
+                                        std::size_t n_words) {
+  if (n_words != words_for(dim)) {
+    throw std::invalid_argument("from_words: word count does not match dim");
+  }
+  BipolarVector v(dim);
+  for (std::size_t w = 0; w < n_words; ++w) v.words_[w] = words[w];
+  v.mask_tail();
+  return v;
+}
+
 int BipolarVector::get(std::size_t i) const {
   const std::uint64_t bit = (words_[i / 64] >> (i % 64)) & 1ULL;
   return bit ? -1 : 1;

@@ -28,6 +28,12 @@ class BipolarVector {
   /// I.i.d. uniform random bipolar vector (item vector generation).
   static BipolarVector random(std::size_t dim, util::Rng& rng);
 
+  /// Rebuild from packed words (deserialization). `words` must hold exactly
+  /// ceil(dim/64) entries; tail bits beyond `dim` are masked off.
+  static BipolarVector from_words(std::size_t dim,
+                                  const std::uint64_t* words,
+                                  std::size_t n_words);
+
   [[nodiscard]] std::size_t dim() const { return dim_; }
   [[nodiscard]] std::size_t words() const { return words_.size(); }
   [[nodiscard]] const std::uint64_t* data() const { return words_.data(); }

@@ -1,7 +1,11 @@
 #include "resonator/limit_cycle.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
+
 namespace h3dfact::resonator {
 
 std::optional<CycleInfo> LimitCycleDetector::observe(std::uint64_t state_hash,
@@ -20,6 +24,23 @@ std::optional<CycleInfo> LimitCycleDetector::observe(std::uint64_t state_hash,
 void LimitCycleDetector::reset() {
   seen_.clear();
   found_.reset();
+}
+
+std::vector<std::pair<std::uint64_t, std::size_t>> LimitCycleDetector::entries()
+    const {
+  std::vector<std::pair<std::uint64_t, std::size_t>> out(seen_.begin(),
+                                                         seen_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void LimitCycleDetector::restore(
+    const std::vector<std::pair<std::uint64_t, std::size_t>>& entries,
+    std::optional<CycleInfo> found) {
+  seen_.clear();
+  seen_.reserve(entries.size());
+  for (const auto& [hash, t] : entries) seen_.emplace(hash, t);
+  found_ = found;
 }
 
 }  // namespace h3dfact::resonator

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace h3dfact::resonator {
 
@@ -30,6 +32,17 @@ class LimitCycleDetector {
   [[nodiscard]] const std::optional<CycleInfo>& info() const { return found_; }
 
   void reset();
+
+  /// Every (state hash, first-seen iteration) pair observed so far, sorted
+  /// by hash so serialization is byte-deterministic (checkpointing).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::size_t>> entries()
+      const;
+
+  /// Rebuild from serialized entries + found state: the detector behaves
+  /// bit-identically to the one that produced entries()/info().
+  void restore(
+      const std::vector<std::pair<std::uint64_t, std::size_t>>& entries,
+      std::optional<CycleInfo> found);
 
  private:
   std::unordered_map<std::uint64_t, std::size_t> seen_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "hdc/kernels/backend.hpp"
@@ -94,6 +96,12 @@ using detail::joint_hash;
 
 ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
                                       util::Rng& rng) const {
+  return run(problem, rng, SnapshotPolicy{});
+}
+
+ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
+                                      util::Rng& rng,
+                                      const SnapshotPolicy& snapshots) const {
   if (problem.codebooks.get() != set_.get() &&
       (problem.factors() != set_->factors() || problem.dim() != set_->dim())) {
     throw std::invalid_argument("problem incompatible with resonator codebooks");
@@ -102,7 +110,6 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
   const std::size_t D = set_->dim();
   const bool deterministic_run =
       !options_.channel || options_.channel->deterministic();
-  PhaseProfiler* prof = options_.profiler;
 
   // Initial estimates: superposition of each codebook (or random).
   std::vector<hdc::BipolarVector> est(F);
@@ -115,23 +122,17 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
     }
   }
 
-  // Running product P = s ⊙ x̂_1 ⊙ ... ⊙ x̂_F, so that u_f = P ⊙ x̂_f.
-  auto total_product = [&](const std::vector<hdc::BipolarVector>& e) {
-    hdc::BipolarVector p = problem.query;
-    for (const auto& v : e) p.bind_inplace(v);
-    return p;
-  };
-  hdc::BipolarVector P = total_product(est);
-
   ResonatorResult result;
   result.decoded.assign(F, 0);
   if (options_.record_correct_trace) {
     // trace[0]: pre-iteration decode of the initial estimates. Uses the
     // ideal readout (exact nearest-neighbour), so it is a property of the
     // state alone and consumes no engine randomness.
+    hdc::BipolarVector P0 = problem.query;
+    for (const auto& v : est) P0.bind_inplace(v);
     std::vector<std::size_t> decoded0(F);
     for (std::size_t f = 0; f < F; ++f) {
-      decoded0[f] = set_->book(f).nearest(P.bind(est[f]));
+      decoded0[f] = set_->book(f).nearest(P0.bind(est[f]));
     }
     result.correct_trace.push_back(problem.is_correct(decoded0) ? 1 : 0);
   }
@@ -139,6 +140,71 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
   if (options_.detect_limit_cycles && deterministic_run) {
     cycles.observe(joint_hash(est), 0);
   }
+
+  return iterate(problem, rng, est, std::move(result), cycles, 1, snapshots);
+}
+
+ResonatorResult ResonatorNetwork::resume(const ResonatorSnapshot& snapshot,
+                                         util::Rng& rng,
+                                         const SnapshotPolicy& snapshots) const {
+  const std::uint64_t have = hdc::set_fingerprint(*set_);
+  if (snapshot.codebook_fingerprint != have) {
+    throw std::runtime_error(
+        "resonator snapshot was taken over a different codebook set "
+        "(snapshot fingerprint " + std::to_string(snapshot.codebook_fingerprint) +
+        ", network " + std::to_string(have) + ")");
+  }
+  if (snapshot.options_digest != options_fingerprint(options_)) {
+    throw std::runtime_error(
+        "resonator snapshot was taken under different resonator options; "
+        "resuming would diverge from the uninterrupted run");
+  }
+  if (snapshot.estimates.size() != set_->factors() ||
+      snapshot.decoded.size() != set_->factors() ||
+      snapshot.query.dim() != set_->dim()) {
+    throw std::runtime_error("resonator snapshot shape does not match the "
+                             "network's codebook set");
+  }
+
+  FactorizationProblem problem;
+  problem.codebooks = set_;
+  problem.query = snapshot.query;
+  problem.ground_truth = snapshot.ground_truth;
+  problem.query_noise = snapshot.query_noise;
+
+  rng.restore_state(snapshot.rng);
+
+  ResonatorResult result;
+  result.decoded = snapshot.decoded;
+  result.correct_trace = snapshot.correct_trace;
+  result.iterations = static_cast<std::size_t>(snapshot.iteration);
+
+  LimitCycleDetector cycles;
+  cycles.restore(snapshot.cycle_seen, snapshot.cycle_found);
+
+  std::vector<hdc::BipolarVector> est = snapshot.estimates;
+  return iterate(problem, rng, est, std::move(result), cycles,
+                 static_cast<std::size_t>(snapshot.iteration) + 1, snapshots);
+}
+
+ResonatorResult ResonatorNetwork::iterate(const FactorizationProblem& problem,
+                                          util::Rng& rng,
+                                          std::vector<hdc::BipolarVector>& est,
+                                          ResonatorResult result,
+                                          LimitCycleDetector& cycles,
+                                          std::size_t start_iteration,
+                                          const SnapshotPolicy& snapshots) const {
+  const std::size_t F = set_->factors();
+  const std::size_t D = set_->dim();
+  const bool deterministic_run =
+      !options_.channel || options_.channel->deterministic();
+  PhaseProfiler* prof = options_.profiler;
+
+  // Running product P = s ⊙ x̂_1 ⊙ ... ⊙ x̂_F, so that u_f = P ⊙ x̂_f.
+  // Recomputed from scratch here so a resumed run rebuilds the identical
+  // bits (bind is XOR — exact, order-free).
+  hdc::BipolarVector P = problem.query;
+  for (const auto& v : est) P.bind_inplace(v);
 
   const auto success_dot = static_cast<long long>(
       options_.success_threshold * static_cast<double>(D));
@@ -149,7 +215,7 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
   // fans many concurrent problems into.
   const bool batched_path = options_.update == UpdateMode::kSynchronous;
 
-  for (std::size_t t = 1; t <= options_.max_iterations; ++t) {
+  for (std::size_t t = start_iteration; t <= options_.max_iterations; ++t) {
     // Synchronous mode reads every factor against the previous state.
     const std::vector<hdc::BipolarVector>* read_state = &est;
     std::vector<hdc::BipolarVector> prev;
@@ -251,10 +317,57 @@ ResonatorResult ResonatorNetwork::run(const FactorizationProblem& problem,
         if (options_.stop_on_cycle) return result;
       }
     }
+
+    if (snapshots.enabled() && t % snapshots.every == 0) {
+      ResonatorSnapshot snap;
+      snap.iteration = t;
+      snap.query = problem.query;
+      snap.ground_truth = problem.ground_truth;
+      snap.ground_truth_known = !problem.ground_truth.empty();
+      snap.query_noise = problem.query_noise;
+      snap.estimates = est;
+      snap.decoded = result.decoded;
+      snap.correct_trace = result.correct_trace;
+      snap.rng = rng.save_state();
+      snap.cycle_seen = cycles.entries();
+      snap.cycle_found = cycles.info();
+      snap.codebook_fingerprint = hdc::set_fingerprint(*set_);
+      snap.options_digest = options_fingerprint(options_);
+      snapshots.sink(snap, snapshots.ctx);
+    }
   }
 
   result.hit_iteration_cap = true;
   return result;
+}
+
+std::uint64_t options_fingerprint(const ResonatorOptions& options) {
+  // FNV-1a over every dynamics-relevant field. The channel's internal
+  // parameters are not reachable generically; its presence and determinism
+  // class are (they decide tie-break + cycle-detection behavior). The
+  // profiler pointer is observability only and excluded.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix64(static_cast<std::uint64_t>(options.update));
+  mix64(options.max_iterations);
+  mix64(options.channel ? (options.channel->deterministic() ? 1 : 2) : 0);
+  mix64(options.random_init ? 1 : 0);
+  mix64(options.random_tie_break ? 1 : 0);
+  mix64(options.clip_negative_similarity ? 1 : 0);
+  std::uint64_t threshold_bits = 0;
+  static_assert(sizeof threshold_bits == sizeof options.success_threshold);
+  std::memcpy(&threshold_bits, &options.success_threshold,
+              sizeof threshold_bits);
+  mix64(threshold_bits);
+  mix64(options.detect_limit_cycles ? 1 : 0);
+  mix64(options.stop_on_cycle ? 1 : 0);
+  mix64(options.record_correct_trace ? 1 : 0);
+  return h;
 }
 
 ResonatorNetwork make_baseline(std::shared_ptr<const hdc::CodebookSet> set,

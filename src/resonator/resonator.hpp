@@ -23,6 +23,7 @@
 #include "resonator/limit_cycle.hpp"
 #include "resonator/problem.hpp"
 #include "resonator/profiler.hpp"
+#include "resonator/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace h3dfact::resonator {
@@ -161,7 +162,32 @@ class ResonatorNetwork {
   [[nodiscard]] ResonatorResult run(const FactorizationProblem& problem,
                                     util::Rng& rng) const;
 
+  /// run() with periodic state capture: every `snapshots.every` completed
+  /// iterations the sink receives a ResonatorSnapshot from which resume()
+  /// continues bit-identically. Disabled policy == plain run().
+  [[nodiscard]] ResonatorResult run(const FactorizationProblem& problem,
+                                    util::Rng& rng,
+                                    const SnapshotPolicy& snapshots) const;
+
+  /// Continue an interrupted solve from a snapshot. `rng` is overwritten
+  /// with the snapshot's generator state, then drives the remaining
+  /// iterations — the combined interrupted + resumed run yields the same
+  /// ResonatorResult, bit for bit, as an uninterrupted run(). Throws
+  /// std::runtime_error when the snapshot's codebook fingerprint or options
+  /// digest does not match this network.
+  [[nodiscard]] ResonatorResult resume(const ResonatorSnapshot& snapshot,
+                                       util::Rng& rng,
+                                       const SnapshotPolicy& snapshots = {}) const;
+
  private:
+  [[nodiscard]] ResonatorResult iterate(const FactorizationProblem& problem,
+                                        util::Rng& rng,
+                                        std::vector<hdc::BipolarVector>& est,
+                                        ResonatorResult result,
+                                        LimitCycleDetector& cycles,
+                                        std::size_t start_iteration,
+                                        const SnapshotPolicy& snapshots) const;
+
   std::shared_ptr<const hdc::CodebookSet> set_;
   std::shared_ptr<MvmEngine> engine_;
   ResonatorOptions options_;

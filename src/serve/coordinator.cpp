@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/codec.hpp"
 #include "resonator/problem.hpp"
 #include "sweep/deadline.hpp"
 #include "sweep/transport.hpp"
@@ -110,10 +111,35 @@ struct ServeCoordinator::Impl {
     }
     // The coordinator's own copy of the codebooks exists only to pin the
     // fingerprint every worker must echo; workers do the actual solving.
-    util::Rng master(cfg.seed);
-    resonator::ProblemGenerator gen(cfg.dim, cfg.factors, cfg.codebook_size,
-                                    master);
-    fingerprint = codebook_fingerprint(gen.codebooks());
+    // With cfg.artifact the copy is loaded-and-verified from the file the
+    // workers will also warm-start from; otherwise it is generated from
+    // the seed. Either way a non-empty cfg.save_artifact serializes it.
+    std::shared_ptr<const hdc::CodebookSet> set;
+    if (!cfg.artifact.empty()) {
+      io::LoadedCodebookSet loaded = io::load_codebook_set(cfg.artifact);
+      if (loaded.set->dim() != cfg.dim ||
+          loaded.set->factors() != cfg.factors ||
+          loaded.set->book(0).size() != cfg.codebook_size) {
+        throw std::invalid_argument(
+            "ServeConfig: artifact '" + cfg.artifact + "' shape D=" +
+            std::to_string(loaded.set->dim()) + " F=" +
+            std::to_string(loaded.set->factors()) + " M=" +
+            std::to_string(loaded.set->book(0).size()) +
+            " does not match the configured problem space");
+      }
+      set = std::move(loaded.set);
+    } else {
+      util::Rng master(cfg.seed);
+      resonator::ProblemGenerator gen(cfg.dim, cfg.factors, cfg.codebook_size,
+                                      master);
+      set = gen.codebooks_ptr();
+    }
+    fingerprint = codebook_fingerprint(*set);
+    if (!cfg.save_artifact.empty()) {
+      io::ArtifactWriter writer;
+      io::add_codebook_set(writer, *set);
+      writer.write(cfg.save_artifact);
+    }
     if (::pipe(stop_pipe) != 0) {
       throw std::runtime_error("ServeCoordinator: cannot create stop pipe");
     }
@@ -300,6 +326,13 @@ struct ServeCoordinator::Impl {
         init.codebook_size = cfg.codebook_size;
         init.max_iterations = cfg.max_iterations;
         init.seed = cfg.seed;
+        // Advertise the warm-start artifact: the coordinator's own file if
+        // it loaded from one, else the one it just saved (same bytes by the
+        // deterministic writer). The fingerprint pins the exact codebooks.
+        init.artifact_path =
+            !cfg.artifact.empty() ? cfg.artifact : cfg.save_artifact;
+        init.artifact_fingerprint =
+            init.artifact_path.empty() ? 0 : fingerprint;
         if (!peer.ch->send(FrameKind::kHelloAck, encode_hello(ack)) ||
             !peer.ch->send(FrameKind::kServeInit, encode_serve_init(init))) {
           drop_peer(peer, "worker init send failed");

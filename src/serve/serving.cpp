@@ -3,29 +3,11 @@
 namespace h3dfact::serve {
 
 std::uint64_t codebook_fingerprint(const hdc::CodebookSet& set) {
-  // FNV-1a over the structural dimensions and every codevector's packed
-  // words, in (factor, codevector, word) order. Any bit of difference
-  // between two codebook sets — size, shape or content — changes the
-  // digest, which is what lets the coordinator refuse a worker whose
-  // rebuild diverged (it would silently return wrong factorizations).
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix64 = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
-  mix64(set.dim());
-  mix64(set.factors());
-  for (std::size_t f = 0; f < set.factors(); ++f) {
-    const hdc::Codebook& book = set.book(f);
-    mix64(book.size());
-    for (std::size_t m = 0; m < book.size(); ++m) {
-      const hdc::BipolarVector& v = book.vector(m);
-      for (std::size_t w = 0; w < v.words(); ++w) mix64(v.data()[w]);
-    }
-  }
-  return h;
+  // The digest every worker echoes in ServeReady is the same identity the
+  // src/io/ artifact layer stamps into packed codebook files, so a worker
+  // bound from an artifact and one rebuilt from seed prove equality against
+  // the identical fingerprint (see hdc::set_fingerprint for the definition).
+  return hdc::set_fingerprint(set);
 }
 
 }  // namespace h3dfact::serve

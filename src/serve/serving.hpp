@@ -26,8 +26,10 @@
 // per-trial stream: Rng(trial_seed), sample, solve with the post-sampling
 // generator — replies are bit-identical to a sequential run_trials solve of
 // the same trial) or explicit (packed query words + solver seed). Every
-// worker rebuilds the codebooks deterministically from the ServeInit seed
-// and proves it with codebook_fingerprint() before receiving work.
+// worker binds the codebooks deterministically — warm-started from a
+// ServeInit artifact reference (src/io/) when one is given and reachable,
+// rebuilt from the ServeInit seed otherwise — and proves the binding with
+// codebook_fingerprint() before receiving work.
 
 #include <cstdint>
 #include <memory>
@@ -35,6 +37,8 @@
 #include <string>
 
 #include "hdc/codebook.hpp"
+#include "resonator/batched.hpp"
+#include "resonator/problem.hpp"
 #include "sweep/protocol.hpp"
 
 namespace h3dfact::serve {
@@ -63,6 +67,18 @@ struct ServeConfig {
   std::size_t codebook_size = 16;    ///< codebook size M
   std::size_t max_iterations = 100;  ///< per-request iteration cap
   std::uint64_t seed = 1;            ///< codebook generation seed
+
+  /// Optional warm-start artifact (H3DA, src/io/): when set, the
+  /// coordinator loads-and-verifies its codebooks instead of generating
+  /// from `seed`, and advertises the path + fingerprint in every ServeInit
+  /// so workers on the same filesystem warm-start too. The artifact must
+  /// match dim/factors/codebook_size above; construction throws otherwise.
+  std::string artifact;
+
+  /// When set, the coordinator serializes its bound codebook set to this
+  /// path (atomic tmp+rename) right after construction — the pack step of
+  /// the warm-start flow, usable without the standalone h3dfact_pack CLI.
+  std::string save_artifact;
 
   // Batching and admission.
   std::size_t max_batch = 8;      ///< dispatch when this many are queued
@@ -126,11 +142,66 @@ class ServeCoordinator {
   std::unique_ptr<Impl> impl_;
 };
 
+/// A serve worker's bound problem space: the codebook set (loaded from an
+/// artifact or rebuilt from the ServeInit seed) plus the lockstep
+/// factorizer over it.
+struct WorkerSpace {
+  std::shared_ptr<resonator::ProblemGenerator> generator;
+  std::shared_ptr<resonator::BatchedFactorizer> factorizer;
+  std::size_t dim = 0;
+  std::uint64_t fingerprint = 0;   ///< codebook_fingerprint of the binding
+  bool from_artifact = false;      ///< true when warm-started from a file
+};
+
+/// Memoized ServeInit binding. Coordinators re-send ServeInit on reconnect
+/// and whenever a worker re-handshakes; before this cache the worker
+/// regenerated every codebook each time even when nothing changed. bind()
+/// reuses the current space when the init frame is field-for-field
+/// identical to the one it was built from, and otherwise builds a fresh
+/// space — from the init's artifact reference when present and loadable
+/// (verifying the pinned fingerprint), falling back to the deterministic
+/// seed rebuild. Counters expose which path ran for tests and logs.
+class WorkerSpaceCache {
+ public:
+  /// Bind (or re-use) the space `init` describes. Throws std::runtime_error
+  /// on an invalid init (zero-sized space, fingerprint-pinned artifact that
+  /// loads but disagrees after the seed fallback is exhausted); the cache
+  /// keeps any previously bound space on throw.
+  const WorkerSpace& bind(const sweep::ServeInitFrame& init);
+
+  [[nodiscard]] bool bound() const { return space_ != nullptr; }
+  [[nodiscard]] const WorkerSpace& space() const;
+  /// Times bind() regenerated codebooks from the seed.
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Times bind() warm-started from an artifact.
+  [[nodiscard]] std::uint64_t artifact_loads() const { return artifact_loads_; }
+  /// Times bind() was a memoized no-op.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  void reset();
+
+ private:
+  std::shared_ptr<WorkerSpace> space_;
+  sweep::ServeInitFrame bound_init_;  ///< the init space_ was built from
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t artifact_loads_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Solve one BatchTask over a bound space (the serve worker's inner step,
+/// exported so tests can compare artifact-bound and seed-bound workers
+/// reply-for-reply without sockets).
+sweep::BatchResultFrame solve_serve_batch(const WorkerSpace& space,
+                                          const sweep::BatchTaskFrame& task);
+
 /// Serve-worker loop (`sweep_worker --serve`): handshake as kServeWorker,
-/// rebuild the codebooks from ServeInit, echo their fingerprint, then solve
-/// BatchTask frames through a BatchedFactorizer until Shutdown/Drain/EOF.
-/// Returns the process exit code (0 success, nonzero protocol error).
-int serve_factor_worker(int in_fd, int out_fd);
+/// bind the ServeInit problem space through a WorkerSpaceCache (artifact
+/// warm-start, seed rebuild, or memoized re-use), echo its fingerprint,
+/// then solve BatchTask frames until Shutdown/Drain/EOF. A non-empty
+/// `artifact_override` replaces the ServeInit's advertised artifact path —
+/// for hosts where the coordinator's path does not resolve. Returns the
+/// process exit code (0 success, nonzero protocol error).
+int serve_factor_worker(int in_fd, int out_fd,
+                        const std::string& artifact_override = "");
 
 /// Client connection to a ServeCoordinator. Construction dials, handshakes
 /// as kServeClient and verifies the HelloAck; requests and replies then

@@ -4,9 +4,11 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "io/codec.hpp"
 #include "resonator/batched.hpp"
 #include "resonator/problem.hpp"
 #include "sweep/transport.hpp"
@@ -18,41 +20,107 @@ using sweep::Frame;
 using sweep::FrameKind;
 using sweep::WorkerChannel;
 
-#if !defined(_WIN32)
-
 namespace {
 
-constexpr int kHandshakeTimeoutMs = 60000;
+/// The deterministic cold path: regenerate the codebooks from the ServeInit
+/// seed, exactly run_trial_block's derivation (master rng seeds the
+/// codebooks), so every worker and the coordinator's fingerprint copy agree.
+std::shared_ptr<resonator::ProblemGenerator> generator_from_seed(
+    const sweep::ServeInitFrame& init) {
+  util::Rng master(init.seed);
+  return std::make_shared<resonator::ProblemGenerator>(
+      static_cast<std::size_t>(init.dim),
+      static_cast<std::size_t>(init.factors),
+      static_cast<std::size_t>(init.codebook_size), master);
+}
 
-/// Everything a bound worker needs to solve batches: the deterministic
-/// rebuild of the coordinator's problem space plus a lockstep factorizer.
-struct BoundSpace {
-  std::shared_ptr<resonator::ProblemGenerator> generator;
-  std::unique_ptr<resonator::BatchedFactorizer> factorizer;
-  std::size_t dim = 0;
-
-  explicit BoundSpace(const sweep::ServeInitFrame& init) {
-    if (init.dim == 0 || init.factors == 0 || init.codebook_size == 0 ||
-        init.max_iterations == 0) {
-      throw std::runtime_error("ServeInit with zero-sized problem space");
+/// The warm path: load + verify the advertised artifact. Returns nullptr
+/// (after logging why) when the artifact is unreachable or does not match
+/// the init — the caller then falls back to generator_from_seed.
+std::shared_ptr<resonator::ProblemGenerator> generator_from_artifact(
+    const sweep::ServeInitFrame& init) {
+  try {
+    io::LoadedCodebookSet loaded = io::load_codebook_set(init.artifact_path);
+    const hdc::CodebookSet& set = *loaded.set;
+    if (set.dim() != init.dim || set.factors() != init.factors) {
+      throw std::runtime_error(
+          "artifact shape D=" + std::to_string(set.dim()) +
+          " F=" + std::to_string(set.factors()) + " does not match ServeInit");
     }
-    // Exactly run_trial_block's derivation: master rng seeds the codebooks,
-    // so every worker (and the coordinator's fingerprint copy) agree.
-    util::Rng master(init.seed);
-    generator = std::make_shared<resonator::ProblemGenerator>(
-        static_cast<std::size_t>(init.dim),
-        static_cast<std::size_t>(init.factors),
-        static_cast<std::size_t>(init.codebook_size), master);
-    resonator::ResonatorOptions opts;  // baseline defaults, as run_trials
-    opts.max_iterations = static_cast<std::size_t>(init.max_iterations);
-    factorizer = std::make_unique<resonator::BatchedFactorizer>(
-        generator->codebooks_ptr(), opts);
-    dim = static_cast<std::size_t>(init.dim);
+    for (std::size_t f = 0; f < set.factors(); ++f) {
+      if (set.book(f).size() != init.codebook_size) {
+        throw std::runtime_error("artifact codebook " + std::to_string(f) +
+                                 " size " + std::to_string(set.book(f).size()) +
+                                 " does not match ServeInit M=" +
+                                 std::to_string(init.codebook_size));
+      }
+    }
+    if (init.artifact_fingerprint != 0 &&
+        loaded.fingerprint != init.artifact_fingerprint) {
+      throw std::runtime_error(
+          "artifact fingerprint " + std::to_string(loaded.fingerprint) +
+          " does not match the ServeInit pin " +
+          std::to_string(init.artifact_fingerprint));
+    }
+    return std::make_shared<resonator::ProblemGenerator>(std::move(loaded.set));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "[serve_worker] artifact warm-start failed (%s); "
+                 "rebuilding from seed\n",
+                 e.what());
+    return nullptr;
   }
-};
+}
 
-sweep::BatchResultFrame solve_batch(const BoundSpace& space,
-                                    const sweep::BatchTaskFrame& task) {
+}  // namespace
+
+const WorkerSpace& WorkerSpaceCache::space() const {
+  if (!space_) throw std::runtime_error("WorkerSpaceCache: no bound space");
+  return *space_;
+}
+
+void WorkerSpaceCache::reset() { space_.reset(); }
+
+const WorkerSpace& WorkerSpaceCache::bind(const sweep::ServeInitFrame& init) {
+  if (init.dim == 0 || init.factors == 0 || init.codebook_size == 0 ||
+      init.max_iterations == 0) {
+    throw std::runtime_error("ServeInit with zero-sized problem space");
+  }
+  // The memoized fast path: a field-for-field identical re-ServeInit binds
+  // the identical space by construction, so answer from the current one.
+  if (space_ && bound_init_ == init) {
+    ++reuses_;
+    return *space_;
+  }
+
+  auto next = std::make_shared<WorkerSpace>();
+  std::shared_ptr<resonator::ProblemGenerator> generator;
+  if (!init.artifact_path.empty()) {
+    generator = generator_from_artifact(init);
+    next->from_artifact = generator != nullptr;
+  }
+  if (!generator) generator = generator_from_seed(init);
+
+  resonator::ResonatorOptions opts;  // baseline defaults, as run_trials
+  opts.max_iterations = static_cast<std::size_t>(init.max_iterations);
+  next->factorizer = std::make_shared<resonator::BatchedFactorizer>(
+      generator->codebooks_ptr(), opts);
+  next->generator = std::move(generator);
+  next->dim = static_cast<std::size_t>(init.dim);
+  next->fingerprint = codebook_fingerprint(next->generator->codebooks());
+
+  if (next->from_artifact) {
+    ++artifact_loads_;
+  } else {
+    ++rebuilds_;
+  }
+  space_ = std::move(next);
+  bound_init_ = init;
+  return *space_;
+}
+
+sweep::BatchResultFrame solve_serve_batch(const WorkerSpace& space,
+                                          const sweep::BatchTaskFrame& task) {
   const std::size_t n = task.requests.size();
   sweep::BatchResultFrame out;
   out.batch_id = task.batch_id;
@@ -130,9 +198,14 @@ sweep::BatchResultFrame solve_batch(const BoundSpace& space,
   return out;
 }
 
+#if !defined(_WIN32)
+
+namespace {
+constexpr int kHandshakeTimeoutMs = 60000;
 }  // namespace
 
-int serve_factor_worker(int in_fd, int out_fd) {
+int serve_factor_worker(int in_fd, int out_fd,
+                        const std::string& artifact_override) {
   WorkerChannel ch(WorkerChannel::Kind::kStdio, in_fd, out_fd, -1,
                    "serve-coordinator");
   sweep::HelloFrame hello;
@@ -158,7 +231,7 @@ int serve_factor_worker(int in_fd, int out_fd) {
     return 2;
   }
 
-  std::optional<BoundSpace> space;
+  WorkerSpaceCache cache;
   for (;;) {
     std::optional<Frame> frame;
     try {
@@ -174,24 +247,31 @@ int serve_factor_worker(int in_fd, int out_fd) {
     switch (frame->kind) {
       case FrameKind::kServeInit: {
         try {
-          const sweep::ServeInitFrame init =
+          sweep::ServeInitFrame init =
               sweep::decode_serve_init(frame->payload);
-          space.emplace(init);
+          if (!artifact_override.empty()) {
+            init.artifact_path = artifact_override;
+          }
+          const WorkerSpace& space = cache.bind(init);
           sweep::ServeReadyFrame ready;
-          ready.fingerprint =
-              codebook_fingerprint(space->generator->codebooks());
+          ready.fingerprint = space.fingerprint;
           std::fprintf(
               stderr,
-              "[serve_worker] bound problem space D=%llu F=%llu M=%llu\n",
+              "[serve_worker] bound problem space D=%llu F=%llu M=%llu "
+              "(%s; rebuilds=%llu artifact_loads=%llu reuses=%llu)\n",
               static_cast<unsigned long long>(init.dim),
               static_cast<unsigned long long>(init.factors),
-              static_cast<unsigned long long>(init.codebook_size));
+              static_cast<unsigned long long>(init.codebook_size),
+              space.from_artifact ? "artifact" : "seed",
+              static_cast<unsigned long long>(cache.rebuilds()),
+              static_cast<unsigned long long>(cache.artifact_loads()),
+              static_cast<unsigned long long>(cache.reuses()));
           if (!ch.send(FrameKind::kServeReady,
                        sweep::encode_serve_ready(ready))) {
             return 0;
           }
         } catch (const std::exception& e) {
-          space.reset();
+          cache.reset();
           if (!ch.send(FrameKind::kError, e.what())) return 0;
         }
         break;
@@ -200,10 +280,11 @@ int serve_factor_worker(int in_fd, int out_fd) {
         try {
           const sweep::BatchTaskFrame task =
               sweep::decode_batch_task(frame->payload);
-          if (!space) {
+          if (!cache.bound()) {
             throw std::runtime_error("batch received before ServeInit");
           }
-          const sweep::BatchResultFrame result = solve_batch(*space, task);
+          const sweep::BatchResultFrame result =
+              solve_serve_batch(cache.space(), task);
           if (!ch.send(FrameKind::kBatchResult,
                        sweep::encode_batch_result(result))) {
             return 0;
@@ -222,7 +303,7 @@ int serve_factor_worker(int in_fd, int out_fd) {
 
 #else  // _WIN32
 
-int serve_factor_worker(int, int) {
+int serve_factor_worker(int, int, const std::string&) {
   std::fprintf(stderr, "factorization serving requires POSIX\n");
   return 2;
 }

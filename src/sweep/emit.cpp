@@ -254,16 +254,19 @@ struct JsonValue {
     }
     return nullptr;
   }
+  // Accessor errors are bare ("missing field 'x'"); read_json_string
+  // prefixes the artifact source and the cell position, so the surfaced
+  // message names file, cell and field without double labels.
   [[nodiscard]] const JsonValue& at(const std::string& key) const {
     const JsonValue* v = find(key);
     if (v == nullptr) {
-      throw std::runtime_error("sweep JSON: missing field '" + key + "'");
+      throw std::runtime_error("missing field '" + key + "'");
     }
     return *v;
   }
   [[nodiscard]] double num() const {
     if (kind != Kind::kNumber) {
-      throw std::runtime_error("sweep JSON: expected a number");
+      throw std::runtime_error("expected a number");
     }
     return number;
   }
@@ -272,7 +275,7 @@ struct JsonValue {
   }
   [[nodiscard]] const std::string& str() const {
     if (kind != Kind::kString) {
-      throw std::runtime_error("sweep JSON: expected a string");
+      throw std::runtime_error("expected a string");
     }
     return text;
   }
@@ -286,7 +289,7 @@ class JsonParser {
     JsonValue v = value();
     skip_ws();
     if (pos_ != text_.size()) {
-      throw std::runtime_error("sweep JSON: trailing content at byte " +
+      throw std::runtime_error("trailing content at byte " +
                                std::to_string(pos_));
     }
     return v;
@@ -294,8 +297,7 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("sweep JSON: " + what + " at byte " +
-                             std::to_string(pos_));
+    throw std::runtime_error(what + " at byte " + std::to_string(pos_));
   }
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -472,8 +474,12 @@ CellResult cell_from_json(const JsonValue& v) {
   r.query_flip_prob = config.at("query_flip_prob").num();
   // The seed is emitted as a string to protect its 64-bit range from
   // double-precision JSON consumers.
-  const auto seed = util::parse_u64(config.at("seed").str());
-  if (!seed) throw std::runtime_error("checkpoint: bad seed token");
+  const std::string& seed_text = config.at("seed").str();
+  const auto seed = util::parse_u64(seed_text);
+  if (!seed) {
+    throw std::runtime_error("config.seed: bad u64 token '" + seed_text +
+                             "'");
+  }
   r.seed = *seed;
 
   const JsonValue& stats = v.at("stats");
@@ -499,29 +505,44 @@ CellResult cell_from_json(const JsonValue& v) {
 
 }  // namespace
 
-SweepDocument read_json_string(const std::string& text) {
+SweepDocument read_json_string(const std::string& text,
+                               const std::string& source) {
   JsonParser parser(text);
-  const JsonValue root = parser.parse();
+  JsonValue root;
+  try {
+    root = parser.parse();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(source + ": " + e.what());
+  }
   if (root.kind != JsonValue::Kind::kObject) {
-    throw std::runtime_error("sweep JSON: top level must be an object");
+    throw std::runtime_error(source + ": top level must be an object");
   }
   SweepDocument doc;
-  doc.sweep = root.at("sweep").str();
-  const JsonValue& cells = root.at("cells");
-  if (cells.kind != JsonValue::Kind::kArray) {
-    throw std::runtime_error("sweep JSON: 'cells' must be an array");
+  try {
+    doc.sweep = root.at("sweep").str();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(source + ": 'sweep': " + e.what());
   }
-  doc.cells.reserve(cells.items.size());
-  for (const JsonValue& cell : cells.items) {
-    doc.cells.push_back(cell_from_json(cell));
+  const JsonValue* cells = root.find("cells");
+  if (cells == nullptr || cells->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error(source + ": 'cells' must be an array");
+  }
+  doc.cells.reserve(cells->items.size());
+  for (std::size_t i = 0; i < cells->items.size(); ++i) {
+    try {
+      doc.cells.push_back(cell_from_json(cells->items[i]));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(source + ": cells[" + std::to_string(i) +
+                               "]: " + e.what());
+    }
   }
   return doc;
 }
 
-SweepDocument read_json(std::istream& is) {
+SweepDocument read_json(std::istream& is, const std::string& source) {
   std::ostringstream buffer;
   buffer << is.rdbuf();
-  return read_json_string(buffer.str());
+  return read_json_string(buffer.str(), source);
 }
 
 }  // namespace h3dfact::sweep

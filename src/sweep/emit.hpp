@@ -47,10 +47,16 @@ struct SweepDocument {
 
 /// Parse a document produced by write_json (the checkpoint/resume reader).
 /// Throws std::runtime_error on malformed JSON or a missing required
-/// field; derived statistics columns are recomputed, not trusted.
-SweepDocument read_json(std::istream& is);
+/// field; derived statistics columns are recomputed, not trusted. Every
+/// error message leads with `source` — callers pass the artifact's
+/// identity (e.g. "checkpoint '/path/to/file'") so failures name the file,
+/// the cell and the field, in the flag-named strict-parse convention —
+/// and decode failures inside a cell add its array position ("cells[3]").
+SweepDocument read_json(std::istream& is,
+                        const std::string& source = "sweep JSON");
 
 /// read_json over an in-memory string (tests, diffing tools).
-SweepDocument read_json_string(const std::string& text);
+SweepDocument read_json_string(const std::string& text,
+                               const std::string& source = "sweep JSON");
 
 }  // namespace h3dfact::sweep

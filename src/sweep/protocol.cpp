@@ -166,6 +166,8 @@ std::string encode_spec_init(const SpecInitFrame& init) {
   put_u64(out, init.cell_threads);
   put_u64(out, init.cell_count);
   put_u64(out, init.fingerprint);
+  put_str(out, init.artifact_path);
+  put_u64(out, init.artifact_fingerprint);
   return out;
 }
 
@@ -181,6 +183,8 @@ SpecInitFrame decode_spec_init(std::string_view payload) {
   init.cell_threads = in.u64();
   init.cell_count = in.u64();
   init.fingerprint = in.u64();
+  init.artifact_path = in.str();
+  init.artifact_fingerprint = in.u64();
   if (!in.exhausted()) {
     throw std::runtime_error("malformed sweep spec-init: trailing bytes");
   }
@@ -234,6 +238,8 @@ std::string encode_serve_init(const ServeInitFrame& init) {
   put_u64(out, init.codebook_size);
   put_u64(out, init.max_iterations);
   put_u64(out, init.seed);
+  put_str(out, init.artifact_path);
+  put_u64(out, init.artifact_fingerprint);
   return out;
 }
 
@@ -245,6 +251,8 @@ ServeInitFrame decode_serve_init(std::string_view payload) {
   init.codebook_size = in.u64();
   init.max_iterations = in.u64();
   init.seed = in.u64();
+  init.artifact_path = in.str();
+  init.artifact_fingerprint = in.u64();
   if (!in.exhausted()) {
     throw std::runtime_error("malformed serve-init: trailing bytes");
   }

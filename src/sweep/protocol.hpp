@@ -36,7 +36,10 @@ inline constexpr std::uint32_t kProtocolMagic = 0x48335357u;
 /// Wire-format version. Bumped whenever any frame layout changes; the
 /// Hello/HelloAck handshake rejects a peer with a different version.
 /// v2: Hello carries a peer role; request/reply serving frames (9-15).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: SpecInit/ServeInit carry an optional artifact reference (path +
+///     fingerprint) so workers warm-start from a serialized codebook
+///     artifact (src/io/) instead of rebuilding from seed.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Upper bound on a frame payload (1 GiB). Enforced symmetrically: a length
 /// field beyond this is treated as a malformed stream on decode, and
@@ -166,6 +169,14 @@ struct SpecInitFrame {
   std::uint64_t cell_threads = 0;
   std::uint64_t cell_count = 0;
   std::uint64_t fingerprint = 0;
+  /// Optional warm-start artifact reference (v3): a path to an H3DA
+  /// artifact the worker may preflight-verify (empty = none) and the
+  /// codebook fingerprint it must carry (0 = unpinned). Sweep cells build
+  /// their codebooks per cell seed, so for sweep workers this is a
+  /// verify-only preflight; a failed preflight logs and falls back to the
+  /// normal per-cell rebuild.
+  std::string artifact_path;
+  std::uint64_t artifact_fingerprint = 0;
 };
 
 std::string encode_spec_init(const SpecInitFrame& init);
@@ -210,6 +221,16 @@ struct ServeInitFrame {
   std::uint64_t codebook_size = 0;
   std::uint64_t max_iterations = 0;
   std::uint64_t seed = 0;
+  /// Optional warm-start artifact reference (v3): a serialized codebook
+  /// artifact (src/io/) the worker loads-and-verifies instead of
+  /// regenerating from `seed` (empty path = rebuild). The fingerprint pins
+  /// the exact codebooks (0 = unpinned); a load or verification failure
+  /// falls back to the seed rebuild, so v3 coordinators stay compatible
+  /// with workers that cannot reach the artifact file.
+  std::string artifact_path;
+  std::uint64_t artifact_fingerprint = 0;
+
+  bool operator==(const ServeInitFrame&) const = default;
 };
 
 std::string encode_serve_init(const ServeInitFrame& init);

@@ -259,14 +259,10 @@ std::vector<CellResult> load_checkpoint(const SweepSpec& spec,
                                         std::size_t total) {
   std::ifstream is(path);
   if (!is) return {};
-  SweepDocument doc;
-  try {
-    doc = read_json(is);
-  } catch (const std::exception& e) {
-    throw std::runtime_error("checkpoint '" + path +
-                             "' is not a readable sweep JSON artifact: " +
-                             e.what());
-  }
+  // read_json errors already lead with this label (and name the cell and
+  // field), so parse failures surface as e.g.
+  //   checkpoint '/tmp/g.json': cells[3]: config.seed: bad u64 token 'x'
+  SweepDocument doc = read_json(is, "checkpoint '" + path + "'");
   if (doc.sweep != spec.name) {
     throw std::runtime_error("checkpoint '" + path + "' belongs to sweep '" +
                              doc.sweep + "', not '" + spec.name +

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/codec.hpp"
 #include "sweep/runner.hpp"
 
 #if !defined(_WIN32)
@@ -379,6 +380,32 @@ int serve_remote_worker(int in_fd, int out_fd,
       case FrameKind::kSpecInit: {
         try {
           const SpecInitFrame init = decode_spec_init(frame->payload);
+          if (!init.artifact_path.empty()) {
+            // Verify-only preflight (protocol v3): sweep cells rebuild
+            // their codebooks per cell seed, so the artifact cannot stand
+            // in for them — but a coordinator that pins one wants to know
+            // up front whether this host can read the matching bytes. A
+            // failed preflight logs and falls back to per-cell rebuilds.
+            try {
+              io::LoadedCodebookSet loaded =
+                  io::load_codebook_set(init.artifact_path);
+              if (init.artifact_fingerprint != 0 &&
+                  loaded.fingerprint != init.artifact_fingerprint) {
+                throw std::runtime_error(
+                    "fingerprint " + std::to_string(loaded.fingerprint) +
+                    " does not match the SpecInit pin " +
+                    std::to_string(init.artifact_fingerprint));
+              }
+              std::fprintf(stderr,
+                           "[sweep_worker] artifact preflight ok: %s\n",
+                           init.artifact_path.c_str());
+            } catch (const std::exception& pe) {
+              std::fprintf(stderr,
+                           "[sweep_worker] artifact preflight failed (%s); "
+                           "using per-cell rebuilds\n",
+                           pe.what());
+            }
+          }
           SweepSpec rebuilt = build_grid(init.grid);
           SpecReadyFrame ready;
           ready.cell_count = rebuilt.cell_count();

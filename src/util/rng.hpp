@@ -19,6 +19,17 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Complete serializable state of an Rng: the four xoshiro256** words plus
+/// the Box-Muller pair cache. restore_state() of a save_state() resumes the
+/// stream bit-identically, including a pending cached gaussian draw.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_gauss = 0.0;
+  bool has_cached_gauss = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -84,6 +95,18 @@ class Rng {
 
   /// Lognormal with given parameters of the underlying normal.
   double lognormal(double mu, double sigma);
+
+  /// Snapshot the full generator state (checkpointing / io::ResonatorSnapshot).
+  [[nodiscard]] RngState save_state() const {
+    return RngState{state_, cached_gauss_, has_cached_gauss_};
+  }
+
+  /// Resume from a snapshot; the stream continues bit-identically.
+  void restore_state(const RngState& st) {
+    state_ = st.s;
+    cached_gauss_ = st.cached_gauss;
+    has_cached_gauss_ = st.has_cached_gauss;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
