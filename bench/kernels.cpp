@@ -29,8 +29,11 @@
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/kernels/backend.hpp"
+#include "hdc/kernels/capability.hpp"
+#include "hdc/kernels/thread_pool.hpp"
 #include "resonator/batched.hpp"
 #include "resonator/channels.hpp"
+#include "resonator/resonator.hpp"
 #include "util/rng.hpp"
 
 using namespace h3dfact;
@@ -211,6 +214,55 @@ void BM_FactorizeBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_FactorizeBatched)->Args({256, 16});
 
+// --- engine-level threading (args: {M, batch, threads; 0 = auto}) ---------
+// One ExactMvmEngine pass (similarity_batch + project_batch over the same
+// factor) at a pinned pool size. Compare the threads=1 row against the
+// threads=0 (auto = hardware) row at equal {M, batch}: the ratio is the
+// intra-engine threading win the kernel pool buys on this host. Results are
+// bit-identical across rows by the pool's determinism contract, so the
+// comparison is pure wall time.
+void BM_EngineMvmBatchThreads(benchmark::State& state) {
+  util::Rng rng(10);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(2));
+  auto set = std::make_shared<hdc::CodebookSet>(1024, 1, m, rng);
+  resonator::ExactMvmEngine engine(set);
+  auto us = random_queries(1024, batch, rng);
+  hdc::kernels::set_kernel_threads(threads);
+  util::Rng call_rng(11);
+  for (auto _ : state) {
+    hdc::CoeffBlock sims = engine.similarity_batch(0, us, call_rng);
+    benchmark::DoNotOptimize(engine.project_batch(0, sims, call_rng));
+  }
+  hdc::kernels::set_kernel_threads(0);  // restore env/auto sizing
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * batch) * 1024 * 2);
+}
+BENCHMARK(BM_EngineMvmBatchThreads)
+    ->Args({512, 64, 1})
+    ->Args({512, 64, 2})
+    ->Args({512, 64, 0});
+
+void BM_SimilarityBatchThreads(benchmark::State& state) {
+  util::Rng rng(12);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(2));
+  hdc::Codebook cb(1024, m, rng);
+  auto us = random_queries(1024, batch, rng);
+  hdc::kernels::set_kernel_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.similarity_batch(us));
+  }
+  hdc::kernels::set_kernel_threads(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * batch) * 1024);
+}
+BENCHMARK(BM_SimilarityBatchThreads)
+    ->Args({512, 64, 1})
+    ->Args({512, 64, 0});
+
 void BM_SignActivation(benchmark::State& state) {
   util::Rng rng(4);
   std::vector<int> y(1024);
@@ -290,18 +342,33 @@ void write_json(const std::string& path, const char* harness,
               h3dfact::hdc::kernels::active().name);
 }
 
-// Pull our --json=FILE flag out of argv (both harnesses reject flags they
-// don't know) and return the remaining argc.
-int extract_json_flag(int argc, char** argv, std::string* json_path) {
+// Pull our own flags out of argv (both harnesses reject flags they don't
+// know) and return the remaining argc.
+int extract_own_flags(int argc, char** argv, std::string* json_path,
+                      bool* list_backends) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       *json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--list-backends") == 0) {
+      *list_backends = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   return out;
+}
+
+// `--list-backends`: machine-greppable probe for CI — one backend name per
+// line plus the detected capability set, then exit. The avx512 CI leg runs
+// this to decide between a real forced-avx512 pass and a loud skip.
+int print_backends() {
+  for (const auto* b : h3dfact::hdc::kernels::available()) {
+    std::printf("%s\n", b->name);
+  }
+  std::printf("capabilities: %s\n",
+              h3dfact::hdc::kernels::probe().to_string().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -337,7 +404,9 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   std::string json_path;
-  argc = extract_json_flag(argc, argv, &json_path);
+  bool list_backends = false;
+  argc = extract_own_flags(argc, argv, &json_path, &list_backends);
+  if (list_backends) return print_backends();
   benchmark::Initialize(&argc, argv);
   // A typoed flag (e.g. --jsn=, or --json with a space) must fail up front,
   // not after a multi-minute run that silently writes no artifact.
@@ -354,10 +423,12 @@ int main(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   std::string json_path;
-  argc = extract_json_flag(argc, argv, &json_path);
+  bool list_backends = false;
+  argc = extract_own_flags(argc, argv, &json_path, &list_backends);
+  if (list_backends) return print_backends();
   if (argc > 1) {
     std::fprintf(stderr, "unrecognized argument: %s (minibench harness only "
-                 "accepts --json=FILE)\n", argv[1]);
+                 "accepts --json=FILE and --list-backends)\n", argv[1]);
     return 1;
   }
   std::printf("kernel backend: %s\n", h3dfact::hdc::kernels::active().name);

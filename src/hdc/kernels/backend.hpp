@@ -2,12 +2,15 @@
 // Multi-ISA kernel backend layer for the two MVM hot-path primitives
 // (XOR+popcount similarity, ±1-row axpy projection) and their batched tile
 // variants. Each backend is one translation unit compiled for its ISA
-// (scalar always; AVX2 via function-level target attributes on x86_64; NEON
-// on aarch64 where Advanced SIMD is baseline). Selection happens once at
-// runtime from CPU features, overridable by the H3DFACT_KERNEL_BACKEND
-// environment variable or programmatically via force_backend() — so any
-// compiled-in backend can be exercised on any host that supports it, and
-// the parity suite can pin every backend against scalar bit for bit.
+// (scalar always; SSE2 at the x86-64 baseline; AVX2 and AVX-512 via
+// function-level target attributes on x86_64; NEON on aarch64 where
+// Advanced SIMD is baseline). Selection happens once at runtime by scoring
+// every compiled-in backend against the probed CPU capabilities
+// (capability.hpp + policy.hpp — not first-match order), overridable by the
+// H3DFACT_KERNEL_BACKEND environment variable or programmatically via
+// force_backend() — so any compiled-in backend can be exercised on any host
+// that supports it, and the parity/fuzz suites can pin every backend
+// against scalar bit for bit.
 //
 // The contract for every entry point is exact integer arithmetic: all
 // backends must produce bit-identical results for identical inputs. The
@@ -24,7 +27,8 @@ namespace h3dfact::hdc::kernels {
 /// function-pointer table so per-ISA translation units stay free of
 /// virtual-dispatch plumbing and the active table is one pointer load.
 struct KernelBackend {
-  /// Stable identifier: "scalar", "avx2" or "neon". Also the value the
+  /// Stable identifier: "scalar", "sse2", "avx2", "avx512" or "neon". Also
+  /// the value the
   /// H3DFACT_KERNEL_BACKEND environment variable matches against, and the
   /// `backend` field of the bench/kernels --json artifact.
   const char* name;
@@ -66,11 +70,13 @@ struct KernelBackend {
 [[nodiscard]] const KernelBackend* find(std::string_view name);
 
 /// Resolve the startup selection: `requested` of nullptr/empty picks the
-/// best available backend (avx2 > neon > scalar); otherwise the named
-/// backend, throwing std::runtime_error when it is unknown or unavailable
-/// (a typoed H3DFACT_KERNEL_BACKEND must fail loudly, not silently fall
-/// back and defeat a CI parity gate). Exposed so tests can cover the
-/// resolution rules without mutating the process environment.
+/// highest-scoring available backend for the probed CPU capabilities
+/// (policy.hpp's score_backend/select_backend — e.g. avx512 outranks avx2
+/// only when VPOPCNTDQ is present); otherwise the named backend, throwing
+/// std::runtime_error when it is unknown or unavailable (a typoed
+/// H3DFACT_KERNEL_BACKEND must fail loudly, not silently fall back and
+/// defeat a CI parity gate). Exposed so tests can cover the resolution
+/// rules without mutating the process environment.
 [[nodiscard]] const KernelBackend& resolve_backend(const char* requested);
 
 /// The backend every kernel call routes through: a force_backend() override
@@ -79,9 +85,11 @@ struct KernelBackend {
 [[nodiscard]] const KernelBackend& active();
 
 /// Programmatic override of active(), e.g. to pin scalar for a parity or
-/// A/B timing run. Returns false (and changes nothing) for an unknown or
-/// unavailable name.
-bool force_backend(std::string_view name);
+/// A/B timing run. Throws std::runtime_error (and changes nothing) for an
+/// unknown or unavailable name — a forced-backend matrix leg that cannot
+/// actually pin its backend must fail loudly, not silently keep measuring
+/// whatever auto-detection picked.
+void force_backend(std::string_view name);
 
 /// Drop the force_backend() override; env/auto selection applies again.
 void reset_backend();
@@ -91,7 +99,9 @@ void reset_backend();
 // lacks the feature. Use available()/find() instead of calling these
 // directly.
 const KernelBackend* scalar_backend();
+const KernelBackend* sse2_backend();
 const KernelBackend* avx2_backend();
+const KernelBackend* avx512_backend();
 const KernelBackend* neon_backend();
 
 }  // namespace h3dfact::hdc::kernels

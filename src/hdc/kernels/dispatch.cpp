@@ -1,8 +1,10 @@
-// Runtime backend selection: CPU-feature auto-detection, the
-// H3DFACT_KERNEL_BACKEND environment override, and the programmatic
-// force_backend() seam. Selection is resolved lazily on the first active()
-// call (never during static initialization) and cached; force_backend()
-// swaps one atomic pointer, so pinning a backend mid-process is safe.
+// Runtime backend selection: capability-scored auto-detection (policy.hpp
+// replaces the old first-match table — avx512 wins over avx2 only when its
+// score says so), the H3DFACT_KERNEL_BACKEND environment override, and the
+// programmatic force_backend() seam. Selection is resolved lazily on the
+// first active() call (never during static initialization) and cached;
+// force_backend() swaps one atomic pointer, so pinning a backend
+// mid-process is safe.
 
 #include <atomic>
 #include <cstdlib>
@@ -10,6 +12,8 @@
 #include <string>
 
 #include "hdc/kernels/backend.hpp"
+#include "hdc/kernels/capability.hpp"
+#include "hdc/kernels/policy.hpp"
 
 namespace h3dfact::hdc::kernels {
 
@@ -17,12 +21,28 @@ namespace {
 
 std::atomic<const KernelBackend*> g_forced{nullptr};
 
+[[noreturn]] void throw_unknown_backend(std::string_view requested) {
+  std::string msg =
+      "H3DFACT_KERNEL_BACKEND names an unknown or unavailable kernel "
+      "backend: \"";
+  msg += requested;
+  msg += "\" (available:";
+  for (const KernelBackend* b : available()) {
+    msg += ' ';
+    msg += b->name;
+  }
+  msg += ')';
+  throw std::runtime_error(msg);
+}
+
 }  // namespace
 
 std::vector<const KernelBackend*> available() {
   std::vector<const KernelBackend*> out;
   out.push_back(scalar_backend());
+  if (const KernelBackend* b = sse2_backend()) out.push_back(b);
   if (const KernelBackend* b = avx2_backend()) out.push_back(b);
+  if (const KernelBackend* b = avx512_backend()) out.push_back(b);
   if (const KernelBackend* b = neon_backend()) out.push_back(b);
   return out;
 }
@@ -37,20 +57,12 @@ const KernelBackend* find(std::string_view name) {
 const KernelBackend& resolve_backend(const char* requested) {
   if (requested != nullptr && *requested != '\0') {
     if (const KernelBackend* b = find(requested)) return *b;
-    std::string msg =
-        "H3DFACT_KERNEL_BACKEND names an unknown or unavailable kernel "
-        "backend: \"";
-    msg += requested;
-    msg += "\" (available:";
-    for (const KernelBackend* b : available()) {
-      msg += ' ';
-      msg += b->name;
-    }
-    msg += ')';
-    throw std::runtime_error(msg);
+    throw_unknown_backend(requested);
   }
-  if (const KernelBackend* b = avx2_backend()) return *b;
-  if (const KernelBackend* b = neon_backend()) return *b;
+  // Auto path: score every compiled-in backend against the probed CPU and
+  // take the winner. available() never lists a backend the CPU cannot run,
+  // and scalar always scores > 0, so the selection cannot come back empty.
+  if (const KernelBackend* b = select_backend(available(), probe())) return *b;
   return *scalar_backend();
 }
 
@@ -65,11 +77,10 @@ const KernelBackend& active() {
   return selected;
 }
 
-bool force_backend(std::string_view name) {
+void force_backend(std::string_view name) {
   const KernelBackend* b = find(name);
-  if (b == nullptr) return false;
+  if (b == nullptr) throw_unknown_backend(name);
   g_forced.store(b, std::memory_order_release);
-  return true;
 }
 
 void reset_backend() { g_forced.store(nullptr, std::memory_order_release); }

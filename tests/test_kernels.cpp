@@ -1,8 +1,10 @@
 // Parity + dispatch tests for the multi-ISA kernel backend layer
 // (hdc/kernels). Every compiled-in backend must be bit-identical to the
 // scalar reference over randomized widths — including the tails past each
-// backend's vector width — and the selection seams (auto-detect, env
-// resolution, force_backend, the pinned ExactMvmEngine) must behave.
+// backend's vector width — the selection seams (capability-scored
+// auto-detect, env resolution, force_backend, the pinned ExactMvmEngine)
+// must behave, and the kernel policy (capability scoring, per-call/tiled
+// crossover, H3DFACT_KERNEL_POLICY parsing) must pick what the tables say.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +17,8 @@
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/kernels/backend.hpp"
+#include "hdc/kernels/capability.hpp"
+#include "hdc/kernels/policy.hpp"
 #include "resonator/problem.hpp"
 #include "resonator/resonator.hpp"
 #include "util/rng.hpp"
@@ -71,22 +75,166 @@ TEST(KernelDispatch, FindRejectsUnknownNames) {
   EXPECT_EQ(kernels::find(""), nullptr);
 }
 
+#if defined(__x86_64__)
+TEST(KernelDispatch, Sse2IsAvailableOnX86) {
+  // SSE2 is baseline in the x86-64 ABI: the SSE2 backend must be listed
+  // and selectable on every x86_64 host.
+  EXPECT_NE(kernels::find("sse2"), nullptr);
+}
+#endif
+
 TEST(KernelDispatch, ResolveHonorsRequestAndThrowsOnUnknown) {
   EXPECT_STREQ(kernels::resolve_backend("scalar").name, "scalar");
   // nullptr/empty = auto-detect: some available backend, never a throw.
   EXPECT_NE(kernels::find(kernels::resolve_backend(nullptr).name), nullptr);
   EXPECT_NE(kernels::find(kernels::resolve_backend("").name), nullptr);
   // A typoed H3DFACT_KERNEL_BACKEND must fail loudly, not fall back.
-  EXPECT_THROW((void)kernels::resolve_backend("avx512"), std::runtime_error);
+  EXPECT_THROW((void)kernels::resolve_backend("avx1024"), std::runtime_error);
+}
+
+TEST(KernelDispatch, AutoResolutionMatchesPolicySelection) {
+  // Regression for the first-match bug class: the auto path must be the
+  // capability-scored winner, not whichever factory happens to be probed
+  // first. In particular an avx512 build without VPOPCNTDQ must NOT outrank
+  // avx2 (score_backend ranks the 512-bit LUT fallback below avx2).
+  const KernelBackend* want =
+      kernels::select_backend(kernels::available(), kernels::probe());
+  ASSERT_NE(want, nullptr);
+  EXPECT_STREQ(kernels::resolve_backend(nullptr).name, want->name);
 }
 
 TEST(KernelDispatch, ForceBackendOverridesActive) {
   BackendGuard guard;
-  EXPECT_FALSE(kernels::force_backend("definitely-not-a-backend"));
-  ASSERT_TRUE(kernels::force_backend("scalar"));
+  kernels::force_backend("scalar");
   EXPECT_STREQ(kernels::active().name, "scalar");
   kernels::reset_backend();
   EXPECT_NE(kernels::find(kernels::active().name), nullptr);
+}
+
+TEST(KernelDispatch, ForceBackendThrowsOnUnknownOrUnavailable) {
+  // A forced-backend matrix leg that cannot pin its backend must fail
+  // loudly — never keep running on whatever auto-detection picked.
+  BackendGuard guard;
+  EXPECT_THROW(kernels::force_backend("definitely-not-a-backend"),
+               std::runtime_error);
+#if defined(__x86_64__)
+  // Compiled for another ISA entirely: unavailable, same loud failure.
+  EXPECT_THROW(kernels::force_backend("neon"), std::runtime_error);
+#elif defined(__aarch64__)
+  EXPECT_THROW(kernels::force_backend("avx2"), std::runtime_error);
+#endif
+  // The failed calls must not have disturbed live dispatch.
+  EXPECT_NE(kernels::find(kernels::active().name), nullptr);
+}
+
+TEST(KernelCapability, ProbeMatchesCompiledInBackends) {
+  const kernels::CpuCapabilities& caps = kernels::probe();
+#if defined(__x86_64__)
+  EXPECT_TRUE(caps.sse2);
+  EXPECT_FALSE(caps.neon);
+  // The factory gates on the same probe: avx2/avx512 are listed iff the
+  // CPU reports the features they require.
+  EXPECT_EQ(kernels::find("avx2") != nullptr, caps.avx2);
+  EXPECT_EQ(kernels::find("avx512") != nullptr,
+            caps.avx512f && caps.avx512bw);
+#elif defined(__aarch64__)
+  EXPECT_TRUE(caps.neon);
+  EXPECT_FALSE(caps.sse2);
+#endif
+  EXPECT_FALSE(caps.to_string().empty());
+}
+
+TEST(KernelPolicy, ScoringPicksExpectedBackendPerCapabilitySet) {
+  using kernels::CpuCapabilities;
+  using kernels::score_backend;
+  // Bare x86: sse2 beats scalar, nothing else runs.
+  CpuCapabilities bare;
+  bare.sse2 = true;
+  EXPECT_GT(score_backend("sse2", bare), score_backend("scalar", bare));
+  EXPECT_EQ(score_backend("avx2", bare), 0);
+  EXPECT_EQ(score_backend("avx512", bare), 0);
+  EXPECT_EQ(score_backend("neon", bare), 0);
+  // AVX2 host: avx2 wins over sse2/scalar.
+  CpuCapabilities avx2_host = bare;
+  avx2_host.avx2 = true;
+  EXPECT_GT(score_backend("avx2", avx2_host), score_backend("sse2", avx2_host));
+  // AVX-512 host *without* VPOPCNTDQ: the 512-bit LUT fallback ranks below
+  // avx2 (downclock-class work for AVX2-class throughput).
+  CpuCapabilities avx512_lut = avx2_host;
+  avx512_lut.avx512f = true;
+  avx512_lut.avx512bw = true;
+  EXPECT_GT(score_backend("avx512", avx512_lut), 0);
+  EXPECT_LT(score_backend("avx512", avx512_lut),
+            score_backend("avx2", avx512_lut));
+  // With VPOPCNTDQ avx512 is the ceiling.
+  CpuCapabilities avx512_pop = avx512_lut;
+  avx512_pop.avx512vpopcntdq = true;
+  EXPECT_GT(score_backend("avx512", avx512_pop),
+            score_backend("avx2", avx512_pop));
+  // avx512 without AVX512BW cannot run at all.
+  CpuCapabilities f_only = avx2_host;
+  f_only.avx512f = true;
+  EXPECT_EQ(score_backend("avx512", f_only), 0);
+  // Unknown names never win by accident.
+  EXPECT_EQ(score_backend("definitely-not-a-backend", avx512_pop), 0);
+}
+
+TEST(KernelPolicy, SelectBackendTakesTheHighestScore) {
+  using kernels::CpuCapabilities;
+  const KernelBackend* scalar = kernels::scalar_backend();
+  ASSERT_NE(scalar, nullptr);
+  // Against an empty capability set only scalar scores > 0, so it wins
+  // whatever else is in the candidate list.
+  CpuCapabilities none;
+  EXPECT_EQ(kernels::select_backend(kernels::available(), none), scalar);
+  // An empty candidate list selects nothing.
+  EXPECT_EQ(kernels::select_backend({}, kernels::probe()), nullptr);
+}
+
+TEST(KernelPolicy, UseTiledCrossesOverAtDocumentedBatch) {
+  kernels::KernelPolicy policy;  // defaults: kAuto, crossover at batch 4
+  EXPECT_FALSE(kernels::use_tiled(policy, 0));
+  EXPECT_FALSE(kernels::use_tiled(policy, 1));
+  EXPECT_FALSE(kernels::use_tiled(policy, policy.tile_crossover_batch - 1));
+  EXPECT_TRUE(kernels::use_tiled(policy, policy.tile_crossover_batch));
+  EXPECT_TRUE(kernels::use_tiled(policy, policy.tile_crossover_batch + 1));
+  // Forced modes ignore the batch size entirely.
+  policy.tile_mode = kernels::TileMode::kPerCall;
+  EXPECT_FALSE(kernels::use_tiled(policy, 1u << 20));
+  policy.tile_mode = kernels::TileMode::kTiled;
+  EXPECT_TRUE(kernels::use_tiled(policy, 0));
+}
+
+TEST(KernelPolicy, ParsePolicyThrowsOnUnknownValuesByName) {
+  EXPECT_EQ(kernels::parse_policy("auto").tile_mode, kernels::TileMode::kAuto);
+  EXPECT_EQ(kernels::parse_policy("percall").tile_mode,
+            kernels::TileMode::kPerCall);
+  EXPECT_EQ(kernels::parse_policy("tiled").tile_mode,
+            kernels::TileMode::kTiled);
+  // Unknown values throw, and the message names both the env variable and
+  // the offending value so a typoed CI matrix fails readably.
+  try {
+    (void)kernels::parse_policy("tilde");
+    FAIL() << "parse_policy accepted an unknown policy";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("H3DFACT_KERNEL_POLICY"), std::string::npos) << what;
+    EXPECT_NE(what.find("tilde"), std::string::npos) << what;
+  }
+}
+
+TEST(KernelPolicy, ForcePolicyOverridesActive) {
+  struct PolicyGuard {
+    ~PolicyGuard() { kernels::reset_policy(); }
+  } guard;
+  kernels::KernelPolicy pinned;
+  pinned.tile_mode = kernels::TileMode::kPerCall;
+  pinned.tile_crossover_batch = 99;
+  kernels::force_policy(pinned);
+  EXPECT_EQ(kernels::active_policy().tile_mode, kernels::TileMode::kPerCall);
+  EXPECT_EQ(kernels::active_policy().tile_crossover_batch, 99u);
+  kernels::reset_policy();
+  EXPECT_NE(kernels::active_policy().tile_crossover_batch, 99u);
 }
 
 TEST(KernelParity, XorPopcountMatchesScalar) {
