@@ -37,6 +37,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "dse/space.hpp"
 #include "grids/grids.hpp"
 #include "serve/serving.hpp"
 #include "sweep/transport.hpp"
@@ -47,6 +48,7 @@ using namespace h3dfact;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   bench::grids::register_all();
+  dse::register_design_spaces();
 
   if (cli.flag("list")) {
     for (const std::string& name : sweep::registered_grids()) {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Gate design-space frontier regressions: compare a fresh
+`bench/dse_search --frontier=` artifact against a checked-in baseline.
+
+Usage:
+    check_frontier.py FRESH.json BASELINE.json
+
+The gate fails when the search got WORSE at its own standing benchmark:
+  - a baseline frontier point is now DOMINATED by a fresh point (the search
+    used to consider it optimal; something moved its metrics), or
+  - a baseline frontier point vanished without a dominating replacement
+    (the space lost a design it used to find), or
+  - the fresh frontier is smaller than the baseline's, or
+  - a point present in both changed any objective metric (the search is
+    bit-reproducible within a toolchain, so drift means behaviour changed).
+
+Growing the frontier — new non-dominated points alongside every baseline
+point — passes: that is the search getting better, and the printed report
+says so, with a refresh reminder so the baseline catches up.
+
+The two artifacts must come from the same design space, objectives and grid
+parameters; anything else compares different experiments and fails fast.
+
+Refresh (one command, then commit the file):
+    ./build/bench/dse_search --trials=8 --cap=200 --rungs=1 \\
+        --frontier=bench/baselines/frontier-small.json
+(see docs/dse.md for when a refresh is legitimate)
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def metric(point: dict, name: str) -> float:
+    """One objective metric of a frontier point (schema in docs/dse.md)."""
+    if name == "accuracy":
+        return point["accuracy"]["mean"]
+    return point["hardware"][name]
+
+
+def vector(point: dict, objectives: list[dict]) -> list[float]:
+    return [metric(point, o["name"]) for o in objectives]
+
+
+def dominates(a: list[float], b: list[float], objectives: list[dict]) -> bool:
+    """True when `a` beats-or-ties `b` everywhere and beats it somewhere."""
+    strict = False
+    for av, bv, obj in zip(a, b, objectives):
+        if obj["direction"] == "max":
+            av, bv = -av, -bv
+        if av > bv:
+            return False
+        if av < bv:
+            strict = True
+    return strict
+
+
+def main(argv: list[str]) -> int:
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if len(paths) != 2 or len(paths) != len(argv) - 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path, baseline_path = paths
+
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    for key in ("design_space", "objectives", "grid"):
+        if fresh.get(key) != baseline.get(key):
+            fail(
+                f"{key} mismatch: fresh {fresh.get(key)!r} vs baseline "
+                f"{baseline.get(key)!r} — the artifacts describe different "
+                "experiments; regenerate one of them"
+            )
+
+    objectives = baseline["objectives"]
+    fresh_by_cell = {p["cell"]: p for p in fresh["points"]}
+    base_by_cell = {p["cell"]: p for p in baseline["points"]}
+
+    failures = []
+    header = "  ".join(f"{o['name']}({o['direction']})" for o in objectives)
+    print(f"{'cell':<6} {'status':<10} {header}")
+    for cell in sorted(base_by_cell):
+        base_vec = vector(base_by_cell[cell], objectives)
+        fresh_point = fresh_by_cell.get(cell)
+        if fresh_point is None:
+            dominators = [
+                c
+                for c, p in sorted(fresh_by_cell.items())
+                if dominates(vector(p, objectives), base_vec, objectives)
+            ]
+            if dominators:
+                status = "DOMINATED"
+                failures.append(
+                    f"cell {cell}: the baseline frontier point is now "
+                    f"dominated by fresh cell(s) {dominators} — its metrics "
+                    "regressed"
+                )
+            else:
+                status = "MISSING"
+                failures.append(
+                    f"cell {cell}: gone from the fresh frontier with no "
+                    "dominating replacement"
+                )
+        elif vector(fresh_point, objectives) != base_vec:
+            status = "DRIFTED"
+            failures.append(
+                f"cell {cell}: objective metrics changed "
+                f"{base_vec} -> {vector(fresh_point, objectives)}"
+            )
+        else:
+            status = "ok"
+        fmt = "  ".join(f"{v:.6g}" for v in base_vec)
+        print(f"{cell:<6} {status:<10} {fmt}")
+
+    if len(fresh["points"]) < len(baseline["points"]):
+        failures.append(
+            f"frontier shrank: {len(fresh['points'])} points vs the "
+            f"baseline's {len(baseline['points'])}"
+        )
+
+    if failures:
+        print(f"\n{len(failures)} frontier regression(s):")
+        for f_ in failures:
+            print(f"  - {f_}")
+        print(
+            "\nIf this is expected (model retuning, intentional metric "
+            "change), refresh the baseline:\n"
+            "    ./build/bench/dse_search --trials=8 --cap=200 --rungs=1 "
+            f"--frontier={baseline_path}"
+        )
+        return 1
+
+    grown = sorted(set(fresh_by_cell) - set(base_by_cell))
+    if grown:
+        print(
+            f"\nfrontier grew: new non-dominated cell(s) {grown}; consider "
+            "refreshing the baseline to gate them too"
+        )
+    print(
+        f"\nall {len(baseline['points'])} baseline frontier points intact "
+        f"({len(fresh['points'])} in the fresh frontier)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

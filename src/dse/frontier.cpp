@@ -1,0 +1,145 @@
+#include "dse/frontier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "dse/pareto.hpp"
+
+namespace h3dfact::dse {
+
+namespace {
+
+// Same fixed formats as the sweep emitters (sweep/emit.cpp): %g for the
+// human-scale summaries, exact round-trip text for anything a downstream
+// gate compares numerically. Locale- and platform-independent.
+std::string fmt_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_exact(double v) {
+  char buf[64];
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_frontier_json(std::ostream& os, const std::string& space_name,
+                         const sweep::GridRef& ref,
+                         const std::vector<DesignPoint>& points) {
+  os << "{\n  \"design_space\": " << json_quote(space_name) << ",\n";
+
+  os << "  \"objectives\": [";
+  bool first = true;
+  for (const Objective& obj : design_objectives()) {
+    os << (first ? "" : ", ") << "{\"name\": " << json_quote(obj.name)
+       << ", \"direction\": "
+       << (obj.direction == Direction::kMaximize ? "\"max\"" : "\"min\"")
+       << "}";
+    first = false;
+  }
+  os << "],\n";
+
+  // The GridRef's explicit overrides (std::map — already key-sorted); both
+  // searcher variants of the same grid write the same block.
+  os << "  \"grid\": {";
+  first = true;
+  for (const auto& [k, v] : ref.params) {
+    os << (first ? "" : ", ") << json_quote(k) << ": " << json_quote(v);
+    first = false;
+  }
+  os << "},\n";
+
+  std::vector<const DesignPoint*> ordered;
+  ordered.reserve(points.size());
+  for (const DesignPoint& p : points) ordered.push_back(&p);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const DesignPoint* a, const DesignPoint* b) {
+              return a->index < b->index;
+            });
+
+  os << "  \"points\": [";
+  bool first_point = true;
+  for (const DesignPoint* pp : ordered) {
+    const DesignPoint& p = *pp;
+    os << (first_point ? "\n" : ",\n");
+    first_point = false;
+    os << "    {\n      \"cell\": " << p.index << ",\n";
+    os << "      \"coordinates\": {";
+    first = true;
+    for (const auto& [axis, label] : p.coordinates) {
+      os << (first ? "" : ", ") << json_quote(axis) << ": "
+         << json_quote(label);
+      first = false;
+    }
+    os << "},\n      \"params\": {";
+    first = true;
+    for (const auto& [k, v] : p.params) {
+      os << (first ? "" : ", ") << json_quote(k) << ": " << fmt_g(v);
+      first = false;
+    }
+    // The seed is a full 64-bit value; string form protects it from
+    // double-limited JSON consumers (same convention as the sweep emitter).
+    os << "},\n      \"config\": {\"dim\": " << p.dim
+       << ", \"factors\": " << p.factors
+       << ", \"codebook_size\": " << p.codebook_size
+       << ", \"trials\": " << p.trials << ", \"seed\": \"" << p.seed
+       << "\"},\n";
+    os << "      \"accuracy\": {\"mean\": " << fmt_exact(p.accuracy)
+       << ", \"ci\": " << fmt_exact(p.accuracy_ci)
+       << ", \"median_iterations\": " << fmt_exact(p.median_iterations)
+       << "},\n";
+    os << "      \"hardware\": {\"area_mm2\": " << fmt_exact(p.hw.area_mm2)
+       << ", \"footprint_mm2\": " << fmt_exact(p.hw.footprint_mm2)
+       << ", \"energy_per_op_fJ\": " << fmt_exact(p.hw.energy_per_op_fJ)
+       << ", \"tops_per_watt\": " << fmt_exact(p.hw.tops_per_watt)
+       << ", \"tops\": " << fmt_exact(p.hw.tops)
+       << ", \"frequency_MHz\": " << fmt_exact(p.hw.frequency_MHz)
+       << ", \"power_mW\": " << fmt_exact(p.hw.power_mW)
+       << ", \"peak_C\": " << fmt_exact(p.hw.peak_C)
+       << ", \"thermal_converged\": "
+       << (p.hw.thermal_converged ? "true" : "false") << "}\n    }";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string frontier_json_string(const std::string& space_name,
+                                 const sweep::GridRef& ref,
+                                 const std::vector<DesignPoint>& points) {
+  std::ostringstream os;
+  write_frontier_json(os, space_name, ref, points);
+  return os.str();
+}
+
+}  // namespace h3dfact::dse

@@ -1,0 +1,42 @@
+#pragma once
+// Frontier JSON artifact (dse subsystem, part 5).
+//
+// The standing CI artifact and regression baseline: the Pareto-optimal
+// design points of a search, with the objective declaration and the grid
+// parameters that produced them. The emitter is byte-stable by
+// construction — every field is either integral, a fixed-format double, or
+// derived from the deterministic search result; nothing wall-clock- or
+// host-dependent is written — so a halving search and an exhaustive sweep
+// that agree on the frontier produce byte-identical files (the dse-smoke CI
+// diff), and scripts/check_frontier.py can gate regressions against the
+// checked-in bench/baselines/frontier-small.json.
+//
+// Schema (docs/dse.md documents it field by field):
+//   { "design_space": str,
+//     "objectives": [{"name": str, "direction": "max"|"min"}, ...],
+//     "grid": {param: value-string, ...},          // the GridRef overrides
+//     "points": [ { "cell": int,
+//                   "coordinates": {axis: label, ...},
+//                   "config": {...}, "accuracy": {...}, "hardware": {...}
+//                 }, ... ] }                        // sorted by cell index
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dse/evaluate.hpp"
+#include "sweep/registry.hpp"
+
+namespace h3dfact::dse {
+
+/// Write the frontier artifact for `points` (pass SearchResult::frontier).
+void write_frontier_json(std::ostream& os, const std::string& space_name,
+                         const sweep::GridRef& ref,
+                         const std::vector<DesignPoint>& points);
+
+/// write_frontier_json into a string (tests and byte-diffs).
+[[nodiscard]] std::string frontier_json_string(
+    const std::string& space_name, const sweep::GridRef& ref,
+    const std::vector<DesignPoint>& points);
+
+}  // namespace h3dfact::dse

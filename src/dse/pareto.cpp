@@ -1,0 +1,175 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace h3dfact::dse {
+
+namespace {
+
+void check_width(const MetricPoint& p, const std::vector<Objective>& objectives) {
+  if (p.metrics.size() != objectives.size()) {
+    throw std::invalid_argument(
+        "MetricPoint " + std::to_string(p.id) + " has " +
+        std::to_string(p.metrics.size()) + " metrics for " +
+        std::to_string(objectives.size()) + " objectives");
+  }
+}
+
+bool has_nan(const MetricPoint& p) {
+  for (double m : p.metrics) {
+    if (std::isnan(m)) return true;
+  }
+  return false;
+}
+
+bool metrics_equal(const MetricPoint& a, const MetricPoint& b) {
+  return a.metrics == b.metrics;
+}
+
+void sort_by_id(std::vector<MetricPoint>& points) {
+  std::sort(points.begin(), points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.id < b.id;
+            });
+}
+
+// Drop NaN carriers and exact-duplicate metric vectors (keeping the lowest
+// id), returning the survivors sorted by id — the canonical candidate set
+// every frontier operation works over.
+std::vector<MetricPoint> canonicalize(std::vector<MetricPoint> points,
+                                      const std::vector<Objective>& objectives) {
+  for (const MetricPoint& p : points) check_width(p, objectives);
+  sort_by_id(points);
+  std::vector<MetricPoint> out;
+  for (MetricPoint& p : points) {
+    if (has_nan(p)) continue;
+    bool duplicate = false;
+    for (const MetricPoint& kept : out) {
+      if (metrics_equal(kept, p)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool dominates(const MetricPoint& a, const MetricPoint& b,
+               const std::vector<Objective>& objectives) {
+  check_width(a, objectives);
+  check_width(b, objectives);
+  if (has_nan(a)) return false;
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    const bool max = objectives[i].direction == Direction::kMaximize;
+    const double va = max ? a.metrics[i] : -a.metrics[i];
+    const double vb = max ? b.metrics[i] : -b.metrics[i];
+    // A NaN in b makes vb unordered: treat b as beaten on that objective
+    // (NaN points are always dominated, never dominating).
+    if (std::isnan(vb)) {
+      strictly_better = true;
+      continue;
+    }
+    if (va < vb) return false;
+    if (va > vb) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<MetricPoint> pareto_front(std::vector<MetricPoint> points,
+                                      const std::vector<Objective>& objectives) {
+  const std::vector<MetricPoint> candidates =
+      canonicalize(std::move(points), objectives);
+  std::vector<MetricPoint> front;
+  for (const MetricPoint& p : candidates) {
+    bool beaten = false;
+    for (const MetricPoint& q : candidates) {
+      if (q.id != p.id && dominates(q, p, objectives)) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) front.push_back(p);
+  }
+  return front;  // canonicalize already sorted by id
+}
+
+std::vector<MetricPoint> frontier_merge(const std::vector<MetricPoint>& a,
+                                        const std::vector<MetricPoint>& b,
+                                        const std::vector<Objective>& objectives) {
+  std::vector<MetricPoint> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  // Ids common to both sides must agree — a merge cannot arbitrate two
+  // different measurements of the same point.
+  std::sort(all.begin(), all.end(),
+            [](const MetricPoint& x, const MetricPoint& y) {
+              return x.id < y.id;
+            });
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].id == all[i - 1].id) {
+      if (!metrics_equal(all[i], all[i - 1])) {
+        throw std::invalid_argument(
+            "frontier_merge: point " + std::to_string(all[i].id) +
+            " has conflicting metrics in the two frontiers");
+      }
+      all.erase(all.begin() + static_cast<std::ptrdiff_t>(i));
+      --i;
+    }
+  }
+  return pareto_front(std::move(all), objectives);
+}
+
+FrontierDiff frontier_diff(const std::vector<MetricPoint>& prev,
+                           const std::vector<MetricPoint>& next,
+                           const std::vector<Objective>& objectives) {
+  std::set<std::size_t> prev_ids;
+  std::set<std::size_t> next_ids;
+  for (const MetricPoint& p : prev) prev_ids.insert(p.id);
+  for (const MetricPoint& p : next) next_ids.insert(p.id);
+
+  FrontierDiff diff;
+  for (const MetricPoint& p : next) {
+    if (prev_ids.count(p.id) == 0) diff.added.push_back(p);
+  }
+  for (const MetricPoint& p : prev) {
+    if (next_ids.count(p.id) != 0) continue;
+    diff.removed.push_back(p);
+    for (const MetricPoint& q : next) {
+      if (dominates(q, p, objectives)) {
+        diff.dominated.push_back(p);
+        break;
+      }
+    }
+  }
+  sort_by_id(diff.added);
+  sort_by_id(diff.removed);
+  sort_by_id(diff.dominated);
+  return diff;
+}
+
+std::vector<std::vector<MetricPoint>> nondominated_layers(
+    std::vector<MetricPoint> points, const std::vector<Objective>& objectives) {
+  std::vector<MetricPoint> remaining =
+      canonicalize(std::move(points), objectives);
+  std::vector<std::vector<MetricPoint>> layers;
+  while (!remaining.empty()) {
+    std::vector<MetricPoint> layer = pareto_front(remaining, objectives);
+    std::set<std::size_t> taken;
+    for (const MetricPoint& p : layer) taken.insert(p.id);
+    std::vector<MetricPoint> rest;
+    for (MetricPoint& p : remaining) {
+      if (taken.count(p.id) == 0) rest.push_back(std::move(p));
+    }
+    layers.push_back(std::move(layer));
+    remaining = std::move(rest);
+  }
+  return layers;
+}
+
+}  // namespace h3dfact::dse

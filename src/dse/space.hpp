@@ -1,0 +1,44 @@
+#pragma once
+// Design-space declaration (the dse subsystem, part 3).
+//
+// The hardware design space is declared as a registered sweep grid: the
+// paper's fixed Table III operating points become AXES — design kind (which
+// carries the tier count and tech-node assignment), macro geometry (array
+// rows × subarrays, which sets the hypervector dimension), and ADC
+// precision (which quantizes the similarity channel AND sizes the ADC
+// area/energy models). Because the space registers with the sweep registry
+// (sweep/registry.hpp), the distributed fleet explores it exactly like any
+// paper grid: a coordinator ships a GridRef and every `sweep_worker`
+// rebuilds the identical spec, fingerprint-proven.
+//
+// The accuracy side of a cell runs through the ordinary trial harness; the
+// hardware side joins in afterwards via dse::join_design_point. Parameters
+// (all strings, strictly parsed through util::parse — malformed tokens are
+// rejected with param-named errors, never truncated):
+//   designs=hybrid2d,h3d   comma list of {sram2d, hybrid2d, h3d}
+//   rows=256  subarrays=4  comma lists of macro geometry points
+//   adc=4,8                comma list of ADC precisions (bits, 1..16)
+//   f=3 m=16               factor count / codebook size of the benchmark
+//   trials=40 cap=1000     per-cell trial budget and iteration cap
+//   seed=20240808          master seed (per-cell seeds derive)
+//   sigma=0.5 theta=1.5 clip=4.0   stochastic channel operating point
+//   thermal=0              lateral thermal grid override (0 = default 24)
+
+#include "sweep/registry.hpp"
+#include "sweep/spec.hpp"
+
+namespace h3dfact::dse {
+
+/// The registered design-space grid name.
+inline constexpr const char* kDesignGrid = "dse";
+
+/// Build the design-space SweepSpec from its string parameters (the
+/// registered builder behind kDesignGrid; exposed for direct/test use).
+/// Throws std::invalid_argument on malformed or out-of-range parameters.
+[[nodiscard]] sweep::SweepSpec build_design_space(const sweep::GridParams& p);
+
+/// Register the design-space grid with the sweep registry. Idempotent;
+/// called by bench/dse_search, bench/sweep_worker and the test suites.
+void register_design_spaces();
+
+}  // namespace h3dfact::dse
